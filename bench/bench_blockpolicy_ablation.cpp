@@ -1,0 +1,54 @@
+// E7 — Figs. 5/6 design alternatives: 6-word blocks with 4 instructions and
+// no store restriction (Fig. 5) vs the paper's 8-word blocks with 6
+// instructions and stores banned from inst1/inst2 (Fig. 6), plus wider
+// blocks as an extension.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+
+int main() {
+  using namespace sofia;
+  struct Policy {
+    const char* name;
+    xform::BlockPolicy policy;
+  };
+  const Policy policies[] = {
+      {"fig5: 6w/4i unrestricted", xform::BlockPolicy::small_unrestricted()},
+      {"fig6: 8w/6i stores>=w4 (paper)", xform::BlockPolicy::paper_default()},
+      {"ext: 12w/10i stores>=w4", xform::BlockPolicy{12, 4}},
+      {"ext: 16w/14i stores>=w4", xform::BlockPolicy{16, 4}},
+  };
+  std::printf("Block-policy ablation (all workloads, per-pair CTR)\n");
+  bench::print_rule(96);
+  std::printf("%-32s %8s %8s | %10s %8s | %10s\n", "policy", "text x", "pad%",
+              "cycles(S)", "cyc%", "gate stalls");
+  bench::print_rule(96);
+  for (const auto& p : policies) {
+    double text_ratio = 0;
+    double pad = 0;
+    double cyc = 0;
+    std::uint64_t cycles = 0;
+    std::uint64_t gate = 0;
+    int n = 0;
+    for (const auto& spec : workloads::all_workloads()) {
+      auto opts = bench::default_measure_options();
+      opts.transform.policy = p.policy;
+      const auto m = bench::measure_workload(spec, 1, spec.default_size / 2, opts);
+      text_ratio += m.size_ratio();
+      pad += 100.0 * static_cast<double>(m.sofia_stats.nops) /
+             static_cast<double>(m.sofia_stats.insts);
+      cyc += m.cycle_overhead_pct();
+      cycles += m.sofia_cycles;
+      gate += m.sofia_stats.store_gate_stalls;
+      ++n;
+    }
+    std::printf("%-32s %8.2f %7.1f%% | %10llu %+7.1f%% | %10llu\n", p.name,
+                text_ratio / n, pad / n,
+                static_cast<unsigned long long>(cycles), cyc / n,
+                static_cast<unsigned long long>(gate));
+  }
+  bench::print_rule(96);
+  std::printf("Fig. 5's small blocks verify earlier (no store restriction) but\n"
+              "carry more MAC words per instruction; the paper picked Fig. 6.\n");
+  return 0;
+}

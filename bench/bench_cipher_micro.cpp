@@ -1,0 +1,99 @@
+// E15 — crypto microbenchmarks (google-benchmark): raw block ops, the SOFIA
+// CTR keystream, CBC-MAC over block payloads, and end-to-end transform +
+// simulation throughput.
+#include <benchmark/benchmark.h>
+
+#include "assembler/link.hpp"
+#include "crypto/cbc_mac.hpp"
+#include "crypto/ctr.hpp"
+#include "crypto/key_set.hpp"
+#include "sim/machine.hpp"
+#include "workloads/workloads.hpp"
+#include "xform/transform.hpp"
+
+namespace {
+
+using namespace sofia;
+
+void BM_Encrypt(benchmark::State& state, crypto::CipherKind kind) {
+  const auto cipher = crypto::make_cipher(kind, crypto::make_key(1, 2));
+  std::uint64_t x = 0x0123456789ABCDEFull;
+  for (auto _ : state) {
+    x = cipher->encrypt(x);
+    benchmark::DoNotOptimize(x);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK_CAPTURE(BM_Encrypt, rectangle80, crypto::CipherKind::kRectangle80);
+BENCHMARK_CAPTURE(BM_Encrypt, speck64, crypto::CipherKind::kSpeck64_128);
+
+void BM_Decrypt(benchmark::State& state, crypto::CipherKind kind) {
+  const auto cipher = crypto::make_cipher(kind, crypto::make_key(1, 2));
+  std::uint64_t x = 0x0123456789ABCDEFull;
+  for (auto _ : state) {
+    x = cipher->decrypt(x);
+    benchmark::DoNotOptimize(x);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK_CAPTURE(BM_Decrypt, rectangle80, crypto::CipherKind::kRectangle80);
+BENCHMARK_CAPTURE(BM_Decrypt, speck64, crypto::CipherKind::kSpeck64_128);
+
+void BM_Keystream(benchmark::State& state) {
+  const auto cipher = crypto::make_cipher(crypto::CipherKind::kRectangle80,
+                                          crypto::make_key(3, 4));
+  std::uint32_t word = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        crypto::keystream32(*cipher, 0x5AFE, word, word + 1));
+    ++word;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Keystream);
+
+void BM_CbcMacBlock(benchmark::State& state) {
+  const auto cipher = crypto::make_cipher(crypto::CipherKind::kRectangle80,
+                                          crypto::make_key(5, 6));
+  std::uint32_t words[6] = {1, 2, 3, 4, 5, 6};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::cbc_mac64(*cipher, words));
+    ++words[0];
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CbcMacBlock);
+
+void BM_TransformAdpcm(benchmark::State& state) {
+  const auto src = workloads::workload("adpcm_encode").source(1, 512);
+  const auto prog = assembler::assemble(src);
+  const auto keys = crypto::KeySet::example(crypto::CipherKind::kRectangle80);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(xform::transform(prog, keys, {}));
+  }
+}
+BENCHMARK(BM_TransformAdpcm)->Unit(benchmark::kMillisecond);
+
+void BM_SimulateSofia(benchmark::State& state) {
+  const auto src = workloads::workload("crc32").source(1, 128);
+  const auto prog = assembler::assemble(src);
+  const auto keys = crypto::KeySet::example(crypto::CipherKind::kSpeck64_128);
+  xform::Options opts;
+  opts.granularity = crypto::Granularity::kPerPair;
+  const auto result = xform::transform(prog, keys, opts);
+  sim::SimConfig cfg;
+  cfg.keys = keys;
+  std::uint64_t cycles = 0;
+  for (auto _ : state) {
+    const auto run = sim::run_image(result.image, cfg);
+    cycles += run.stats.cycles;
+    benchmark::DoNotOptimize(run.stats.cycles);
+  }
+  state.counters["sim_cycles_per_s"] = benchmark::Counter(
+      static_cast<double>(cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulateSofia)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,54 @@
+// E9 — keystream granularity: Alg. 1's per-word CTR (finest CFI, one
+// cipher op per instruction word) vs the §III hardware's per-pair CTR (one
+// op per 64-bit pair). Also contrasts the strict-alternation engine with a
+// demand-driven one.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+
+int main() {
+  using namespace sofia;
+  std::printf("CTR granularity / engine policy ablation (all workloads)\n");
+  bench::print_rule(92);
+  std::printf("%-34s | %12s %12s | %10s\n", "configuration", "cycles", "cyc ovh%",
+              "CTR ops");
+  bench::print_rule(92);
+  struct Config {
+    const char* name;
+    crypto::Granularity gran;
+    bool alternate;
+  };
+  const Config configs[] = {
+      {"per-pair, alternating (paper)", crypto::Granularity::kPerPair, true},
+      {"per-pair, demand-driven", crypto::Granularity::kPerPair, false},
+      {"per-word, alternating (Alg.1)", crypto::Granularity::kPerWord, true},
+      {"per-word, demand-driven", crypto::Granularity::kPerWord, false},
+  };
+  // Vanilla baseline for the overhead column.
+  std::uint64_t vanilla_total = 0;
+  for (const auto& spec : workloads::all_workloads()) {
+    const auto m = bench::measure_workload(spec, 1, spec.default_size / 2);
+    vanilla_total += m.vanilla_cycles;
+  }
+  for (const auto& c : configs) {
+    std::uint64_t cycles = 0;
+    std::uint64_t ctr = 0;
+    for (const auto& spec : workloads::all_workloads()) {
+      auto opts = bench::default_measure_options();
+      opts.transform.granularity = c.gran;
+      opts.config.cipher.alternate = c.alternate;
+      const auto m = bench::measure_workload(spec, 1, spec.default_size / 2, opts);
+      cycles += m.sofia_cycles;
+      ctr += m.sofia_stats.ctr_ops;
+    }
+    std::printf("%-34s | %12llu %+11.1f%% | %10llu\n", c.name,
+                static_cast<unsigned long long>(cycles),
+                hw::overhead_pct(static_cast<double>(vanilla_total),
+                                 static_cast<double>(cycles)),
+                static_cast<unsigned long long>(ctr));
+  }
+  bench::print_rule(92);
+  std::printf("Per-word doubles CTR work per block (8 vs 4 ops) and throttles the\n"
+              "alternating engine — quantifying why the paper processes pairs.\n");
+  return 0;
+}

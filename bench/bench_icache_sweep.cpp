@@ -1,0 +1,34 @@
+// E14 — I-cache sensitivity: SOFIA's 2.4-3x text expansion raises cache
+// pressure; sweep the cache size and watch the miss-rate gap between the
+// vanilla and SOFIA binaries of the same program.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+
+int main() {
+  using namespace sofia;
+  const auto& spec = workloads::workload("adpcm_encode");
+  // The SOFIA binary is ~3x the vanilla one (~1 KiB vs ~350 B here), so the
+  // interesting range is where one fits and the other does not.
+  std::printf("I-cache size sweep (ADPCM encoder, 32 B lines)\n");
+  bench::print_rule(96);
+  std::printf("%-10s | %10s %8s | %10s %8s | %8s\n", "size", "cycles(V)",
+              "miss%(V)", "cycles(S)", "miss%(S)", "cyc ovh%");
+  bench::print_rule(96);
+  for (const std::uint32_t bytes : {128u, 256u, 512u, 1024u, 2048u, 4096u}) {
+    auto opts = bench::default_measure_options();
+    opts.config.icache.size_bytes = bytes;
+    const auto m = bench::measure_workload(spec, 1, 4096, opts);
+    const auto miss_pct = [](const sim::SimStats& s) {
+      const double total = static_cast<double>(s.icache_hits + s.icache_misses);
+      return total == 0 ? 0.0 : 100.0 * static_cast<double>(s.icache_misses) / total;
+    };
+    std::printf("%6u B  | %10llu %7.2f%% | %10llu %7.2f%% | %+7.1f%%\n", bytes,
+                static_cast<unsigned long long>(m.vanilla_cycles),
+                miss_pct(m.vanilla_stats),
+                static_cast<unsigned long long>(m.sofia_cycles),
+                miss_pct(m.sofia_stats), m.cycle_overhead_pct());
+  }
+  bench::print_rule(96);
+  return 0;
+}

@@ -1,0 +1,54 @@
+// E8 — cipher unroll-factor design space (the paper's §III design choice
+// and its stated future work): area and clock from the calibrated hardware
+// model, combined with simulated cycles at the matching cipher latency,
+// give total execution time per design point.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+
+int main() {
+  using namespace sofia;
+  const hw::HwModel model;
+  const auto vanilla = model.vanilla();
+  const auto& spec = workloads::workload("adpcm_encode");
+
+  std::printf("Cipher unroll design space (ADPCM encoder, per-pair CTR)\n");
+  bench::print_rule(100);
+  std::printf("%-22s %8s %8s | %10s | %10s %10s | %8s\n", "design", "slices",
+              "MHz", "cycles", "time (ms)", "vs paper pt", "area x");
+  bench::print_rule(100);
+
+  const auto vm = bench::measure_workload(spec, 1, 4096);
+  const double vtime = hw::execution_time_ms(vm.vanilla_cycles, vanilla.clock_mhz);
+  std::printf("%-22s %8.0f %8.1f | %10llu | %10.3f %10s | %8.2f\n", "vanilla",
+              vanilla.slices, vanilla.clock_mhz,
+              static_cast<unsigned long long>(vm.vanilla_cycles), vtime, "-", 1.0);
+
+  // Paper design point first, so every row can be compared against it.
+  double paper_time = 0;
+  {
+    auto opts = bench::default_measure_options();
+    const auto m = bench::measure_workload(spec, 1, 4096, opts);
+    paper_time = hw::execution_time_ms(m.sofia_cycles, model.sofia(2).clock_mhz);
+  }
+  for (const int unroll : {1, 2, 4, 7, 13, 26}) {
+    const auto est = model.sofia(unroll);
+    auto opts = bench::default_measure_options();
+    opts.config.cipher.latency = static_cast<std::uint32_t>(unroll);
+    // Deep (many-cycle) cipher datapaths are iterative, not pipelined.
+    opts.config.cipher.pipelined = unroll <= 2;
+    const auto m = bench::measure_workload(spec, 1, 4096, opts);
+    const double time = hw::execution_time_ms(m.sofia_cycles, est.clock_mhz);
+    char name[32];
+    std::snprintf(name, sizeof name, "SOFIA %2d-cycle%s", unroll,
+                  unroll == 2 ? " (paper)" : "");
+    std::printf("%-22s %8.0f %8.1f | %10llu | %10.3f %+9.1f%% | %8.2f\n", name,
+                est.slices, est.clock_mhz,
+                static_cast<unsigned long long>(m.sofia_cycles), time,
+                hw::overhead_pct(paper_time, time), est.slices / vanilla.slices);
+  }
+  bench::print_rule(100);
+  std::printf("Fastest wall-clock need not be the paper's 2-cycle point: deeper\n"
+              "iterative designs reclaim clock at the cost of fetch throughput.\n");
+  return 0;
+}

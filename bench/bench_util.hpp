@@ -1,0 +1,104 @@
+// Shared harness for the experiment-reproduction benches: run a workload on
+// the vanilla core and through the full SOFIA pipeline, and combine cycle
+// counts with the hardware model's clock estimates into total-execution-time
+// overheads (the paper's headline metric).
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "assembler/link.hpp"
+#include "crypto/key_set.hpp"
+#include "hw/hw_model.hpp"
+#include "sim/machine.hpp"
+#include "support/error.hpp"
+#include "workloads/workloads.hpp"
+#include "xform/transform.hpp"
+
+namespace sofia::bench {
+
+inline crypto::KeySet bench_keys() {
+  // The paper's cipher for all measurements.
+  return crypto::KeySet::example(crypto::CipherKind::kRectangle80);
+}
+
+struct Measurement {
+  std::string name;
+  std::uint32_t vanilla_text_bytes = 0;
+  std::uint32_t sofia_text_bytes = 0;
+  std::uint64_t vanilla_cycles = 0;
+  std::uint64_t sofia_cycles = 0;
+  sim::SimStats vanilla_stats;
+  sim::SimStats sofia_stats;
+
+  double size_ratio() const {
+    return static_cast<double>(sofia_text_bytes) / vanilla_text_bytes;
+  }
+  double cycle_overhead_pct() const {
+    return hw::overhead_pct(static_cast<double>(vanilla_cycles),
+                            static_cast<double>(sofia_cycles));
+  }
+  /// Total execution-time overhead using the hardware model's clocks.
+  double time_overhead_pct(const hw::HwModel& model, int unroll_cycles) const {
+    const double tv = hw::execution_time_ms(vanilla_cycles,
+                                            model.vanilla().clock_mhz);
+    const double ts = hw::execution_time_ms(sofia_cycles,
+                                            model.sofia(unroll_cycles).clock_mhz);
+    return hw::overhead_pct(tv, ts);
+  }
+};
+
+struct MeasureOptions {
+  xform::Options transform;
+  sim::SimConfig config;  ///< keys/policy filled in by measure()
+};
+
+inline MeasureOptions default_measure_options() {
+  MeasureOptions m;
+  // The hardware-faithful configuration (paper §III): pair-granular CTR.
+  m.transform.granularity = crypto::Granularity::kPerPair;
+  return m;
+}
+
+/// Run one workload both ways; throws on any functional mismatch with the
+/// golden model (a benchmark must never report numbers for a broken run).
+inline Measurement measure_workload(const workloads::WorkloadSpec& spec,
+                                    std::uint64_t seed, std::uint32_t size,
+                                    MeasureOptions opts = default_measure_options()) {
+  const std::string src = spec.source(seed, size);
+  const std::string expected = spec.golden(seed, size);
+  const auto prog = assembler::assemble(src);
+
+  Measurement m;
+  m.name = spec.name;
+
+  const auto vimg = assembler::link_vanilla(prog, opts.transform.mem);
+  sim::SimConfig vconfig = opts.config;
+  const auto vres = sim::run_image(vimg, vconfig);
+  if (!vres.ok() || vres.output != expected)
+    throw Error("bench: vanilla run of " + spec.name + " failed");
+  m.vanilla_text_bytes = vimg.text_bytes();
+  m.vanilla_cycles = vres.stats.cycles;
+  m.vanilla_stats = vres.stats;
+
+  const auto keys = bench_keys();
+  const auto result = xform::transform(prog, keys, opts.transform);
+  sim::SimConfig sconfig = opts.config;
+  sconfig.keys = keys;
+  sconfig.policy = opts.transform.policy;
+  const auto sres = sim::run_image(result.image, sconfig);
+  if (!sres.ok() || sres.output != expected)
+    throw Error("bench: SOFIA run of " + spec.name + " failed (" +
+                std::string(to_string(sres.status)) + ")");
+  m.sofia_text_bytes = result.image.text_bytes();
+  m.sofia_cycles = sres.stats.cycles;
+  m.sofia_stats = sres.stats;
+  return m;
+}
+
+inline void print_rule(int width = 78) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+}  // namespace sofia::bench

@@ -1,0 +1,81 @@
+// Attack demo: what SOFIA detects, narrated.
+//
+//   * code injection  — flip/patch ciphertext bits;
+//   * code relocation — move valid ciphertext to another address;
+//   * version replay  — graft a block from a different program version;
+//   * code reuse      — smash a return address toward a store gadget
+//                       (succeeds on the vanilla core, resets on SOFIA).
+//
+// Build & run:  ./build/examples/attack_demo
+#include <cstdio>
+
+#include "crypto/key_set.hpp"
+#include "security/attacks.hpp"
+
+namespace {
+
+void narrate(const sofia::security::AttackOutcome& outcome) {
+  using sofia::sim::RunResult;
+  std::printf("  %-42s -> ", outcome.name.c_str());
+  if (outcome.detected) {
+    std::printf("RESET at cycle %llu (%s)\n",
+                static_cast<unsigned long long>(outcome.run.reset.cycle),
+                to_string(outcome.run.reset.cause).data());
+  } else if (outcome.output_clean) {
+    std::printf("no effect (tampered a block the run never fetches)\n");
+  } else {
+    std::printf("!!! UNDETECTED CORRUPTION (output '%s')\n",
+                outcome.run.output.c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace sofia;
+  const auto keys = crypto::KeySet::example(crypto::CipherKind::kRectangle80);
+
+  const char* victim = R"(
+main:
+  li r1, 0
+  li r2, 10
+loop:
+  call work
+  addi r2, r2, -1
+  bnez r2, loop
+  li r10, 0xFFFF0008
+  sw r1, 0(r10)
+  halt
+work:
+  addi r1, r1, 7
+  ret
+)";
+
+  security::AttackHarness harness(victim, keys);
+  std::printf("victim program runs clean: output = %s\n",
+              harness.clean_run().output.c_str());
+
+  std::printf("\ncode injection (the device decrypts, then the run-time MAC "
+              "fails):\n");
+  narrate(harness.flip_bit(2, 0));
+  narrate(harness.patch_word(5, 0x0D400007));  // attacker-chosen 'addi'
+  std::printf("\ncode relocation (CTR counters bind words to addresses):\n");
+  narrate(harness.relocate_word(2, 10));
+  narrate(harness.splice_block(0, 1));
+  std::printf("\ncross-version replay (the nonce omega separates versions):\n");
+  narrate(harness.cross_version_splice(0x0001, 0));
+
+  std::printf("\nreturn-address smash toward a store gadget:\n");
+  const auto demo = security::run_rop_demo(keys);
+  std::printf("  vanilla core: clean '%s' -> attacked '%s'  (gadget fired!)\n",
+              demo.vanilla_clean.output.substr(0, 4).c_str(),
+              demo.vanilla_attacked.output.substr(0, 4).c_str());
+  std::printf("  SOFIA core:   clean '%s' -> attacked: %s, cause %s — the\n"
+              "  gadget block was encrypted for its legitimate predecessor,\n"
+              "  not for this return edge, so its MAC check fails before the\n"
+              "  store can reach the MA stage.\n",
+              demo.sofia_clean.output.substr(0, 4).c_str(),
+              to_string(demo.sofia_attacked.status).data(),
+              to_string(demo.sofia_attacked.reset.cause).data());
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Toolchain inspector: shows what the transformation actually does to a
+// program — the CFG-driven block layout, the multiplexor entries, the
+// per-word encryption counters, and the ciphertext vs the plaintext.
+//
+// Build & run:  ./build/examples/toolchain_inspect
+#include <cstdio>
+
+#include "assembler/program.hpp"
+#include "cfg/cfg.hpp"
+#include "crypto/cbc_mac.hpp"
+#include "crypto/key_set.hpp"
+#include "isa/disasm.hpp"
+#include "support/hex.hpp"
+#include "xform/normalize.hpp"
+#include "xform/transform.hpp"
+
+int main() {
+  using namespace sofia;
+  const char* source = R"(
+main:
+  li r1, 3
+  call f         ; caller 1
+  call f         ; caller 2 -> f needs a multiplexor entry per caller
+  li r10, 0xFFFF0008
+  sw r1, 0(r10)
+  halt
+f:
+  addi r1, r1, 5
+  ret
+)";
+  std::printf("source program:\n%s\n", source);
+
+  const auto program = assembler::assemble(source);
+  const auto keys = crypto::KeySet::example(crypto::CipherKind::kRectangle80);
+  const auto result = xform::transform(program, keys, {});
+
+  // --- CFG view ------------------------------------------------------------
+  const auto cfg = cfg::Cfg::build(result.normalized);
+  std::printf("CFG: %zu leaders, %zu edges, %zu functions\n",
+              cfg.leaders().size(), cfg.edges().size(), cfg.functions().size());
+  for (const auto& fn : cfg.functions()) {
+    std::printf("  function '%s' entry @%u, %zu call sites, %zu rets\n",
+                fn.name.c_str(), fn.entry, fn.call_sites.size(), fn.rets.size());
+  }
+
+  // --- block layout ----------------------------------------------------------
+  const auto& layout = result.layout;
+  const auto policy = layout.policy();
+  std::printf("\nlayout: %zu blocks of %u words (%s)\n", layout.blocks().size(),
+              policy.words_per_block, policy.describe().c_str());
+  for (const auto& block : layout.blocks()) {
+    const bool mux = block.kind == xform::BlockKind::kMux;
+    std::printf("\nblock %u @%s  [%s%s]\n", block.id,
+                hex32_0x(block.base_word * 4).c_str(), mux ? "mux" : "exec",
+                block.synthesized ? ", synthesized" : "");
+    std::printf("  entry prevPC: %s", hex32_0x(block.pred1_word * 4).c_str());
+    if (mux) std::printf("  /  %s", hex32_0x(block.pred2_word * 4).c_str());
+    std::printf("\n");
+    const auto plain = xform::block_plaintext(layout, block, keys);
+    const std::uint32_t macs =
+        policy.words_per_block - static_cast<std::uint32_t>(block.insts.size());
+    for (std::uint32_t j = 0; j < policy.words_per_block; ++j) {
+      const std::uint32_t addr = (block.base_word + j) * 4;
+      const std::uint32_t cipher_word =
+          result.image.text[block.base_word * 4 / 4 -
+                            result.image.text_base / 4 + j];
+      std::printf("  w%u %s  ct=%s  pt=%s  %s\n", j, hex32_0x(addr).c_str(),
+                  hex32(cipher_word).c_str(), hex32(plain[j]).c_str(),
+                  j < macs ? (j == 0 ? "M1" : (mux && j == 1 ? "M1 (entry 2)" : "M2"))
+                           : isa::disassemble_word(plain[j], addr).c_str());
+    }
+  }
+
+  std::printf("\nimage: entry=%s omega=0x%04x text=%u bytes (%.2fx of %u)\n",
+              hex32_0x(result.image.entry).c_str(), result.image.omega,
+              result.stats.text_bytes_out, result.stats.expansion(),
+              result.stats.text_bytes_in);
+  return 0;
+}

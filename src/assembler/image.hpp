@@ -1,0 +1,45 @@
+// Loadable binary image, the common currency between the two back ends
+// (sequential vanilla link, SOFIA block transform) and the simulator.
+//
+// For SOFIA images the text words are *ciphertext*; `omega` mirrors the
+// paper's nonce "stored in a fixed address in the binary" (we model it as a
+// header field), and `entry_prev` is the architectural prevPC presented by
+// the reset logic when fetching the very first block.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace sofia::assembler {
+
+/// prevPC word address presented at reset (all-ones 24-bit word address, an
+/// address no program text can occupy given the 64 MiB text limit).
+inline constexpr std::uint32_t kResetPrevWord = 0xFFFFFF;
+
+/// Placement of sections in the flat physical address space.
+struct MemoryLayout {
+  std::uint32_t text_base = 0x00000000;
+  std::uint32_t data_base = 0x00100000;
+  std::uint32_t stack_top = 0x001FFFF0;
+};
+
+struct LoadImage {
+  std::uint32_t text_base = 0;
+  std::vector<std::uint32_t> text;  ///< words; ciphertext when sofia == true
+  std::uint32_t data_base = 0;
+  std::vector<std::uint8_t> data;
+  std::uint32_t entry = 0;  ///< byte address of the entry point
+  std::uint32_t stack_top = 0;
+  bool sofia = false;
+  std::uint16_t omega = 0;                      ///< program-version nonce
+  std::uint32_t entry_prev = kResetPrevWord;    ///< reset prevPC (word addr)
+  /// CTR keystream granularity the text was encrypted with: false =
+  /// per-word (Alg. 1), true = per-64-bit-pair (the §III hardware).
+  bool per_pair = false;
+
+  std::uint32_t text_bytes() const {
+    return static_cast<std::uint32_t>(text.size() * 4);
+  }
+};
+
+}  // namespace sofia::assembler

@@ -1,0 +1,32 @@
+// Binary serialization of LoadImage — the on-disk format produced by the
+// sofia-asm tool and consumed by sofia-run, mirroring the paper's
+// "transformed binary ... stored and executed from the target's
+// non-volatile memory" (§III).
+//
+// Format (little-endian):
+//   magic "SOFI", u16 format version, u16 flags (bit0 sofia, bit1 per_pair),
+//   u16 omega, u32 text_base, u32 data_base, u32 stack_top, u32 entry,
+//   u32 entry_prev, u32 text word count, u32 data byte count,
+//   text words, data bytes, u32 checksum (sum of all preceding bytes).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "assembler/image.hpp"
+
+namespace sofia::assembler {
+
+/// Serialize to bytes.
+std::vector<std::uint8_t> serialize_image(const LoadImage& image);
+
+/// Parse bytes; throws sofia::Error on malformed input (bad magic, version,
+/// truncation, checksum mismatch).
+LoadImage deserialize_image(const std::vector<std::uint8_t>& bytes);
+
+/// File convenience wrappers; throw sofia::Error on I/O failure.
+void save_image(const LoadImage& image, const std::string& path);
+LoadImage load_image_file(const std::string& path);
+
+}  // namespace sofia::assembler

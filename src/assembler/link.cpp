@@ -1,0 +1,66 @@
+#include "assembler/link.hpp"
+
+#include "support/bits.hpp"
+#include "support/error.hpp"
+
+namespace sofia::assembler {
+
+std::uint32_t resolve_vanilla(const Program& prog, const MemoryLayout& layout,
+                              const std::string& label) {
+  if (auto it = prog.text_labels.find(label); it != prog.text_labels.end())
+    return layout.text_base + 4 * it->second;
+  if (auto it = prog.data_labels.find(label); it != prog.data_labels.end())
+    return layout.data_base + it->second;
+  throw Error("unknown label '" + label + "'");
+}
+
+LoadImage link_vanilla(const Program& prog, const MemoryLayout& layout) {
+  LoadImage img;
+  img.text_base = layout.text_base;
+  img.data_base = layout.data_base;
+  img.stack_top = layout.stack_top;
+  img.sofia = false;
+  img.text.reserve(prog.text.size());
+
+  for (std::size_t i = 0; i < prog.text.size(); ++i) {
+    isa::Instruction inst = prog.text[i].inst;
+    const SourceInst& si = prog.text[i];
+    switch (si.reloc) {
+      case RelocKind::kNone:
+        break;
+      case RelocKind::kBranch:
+      case RelocKind::kCall: {
+        const std::uint32_t target_index = prog.text_labels.at(si.target);
+        const auto off = static_cast<std::int64_t>(target_index) -
+                         static_cast<std::int64_t>(i);
+        const unsigned width = (si.reloc == RelocKind::kBranch) ? 14u : 22u;
+        if (!fits_signed(off, width))
+          throw Error("branch offset to '" + si.target + "' out of range");
+        inst.imm = static_cast<std::int32_t>(off);
+        break;
+      }
+      case RelocKind::kHi18:
+        inst.imm = static_cast<std::int32_t>(
+            resolve_vanilla(prog, layout, si.target) >> 14);
+        break;
+      case RelocKind::kLo14:
+        inst.imm = static_cast<std::int32_t>(
+            resolve_vanilla(prog, layout, si.target) & 0x3FFFu);
+        break;
+    }
+    img.text.push_back(isa::encode(inst));
+  }
+
+  img.data = prog.data;
+  for (const auto& r : prog.data_relocs) {
+    const std::uint32_t addr = resolve_vanilla(prog, layout, r.symbol);
+    for (int b = 0; b < 4; ++b)
+      img.data[r.offset + static_cast<std::uint32_t>(b)] =
+          static_cast<std::uint8_t>(addr >> (8 * b));
+  }
+
+  img.entry = layout.text_base + 4 * prog.text_labels.at(prog.entry);
+  return img;
+}
+
+}  // namespace sofia::assembler

@@ -1,0 +1,20 @@
+// Vanilla (baseline) linker: sequential layout, no SOFIA blocks, plaintext
+// text — the unmodified-LEON3 analogue the paper's overheads are measured
+// against.
+#pragma once
+
+#include "assembler/image.hpp"
+#include "assembler/program.hpp"
+
+namespace sofia::assembler {
+
+/// Resolve a label to its vanilla byte address (text labels at
+/// text_base + 4*index, data labels at data_base + offset). Throws
+/// sofia::Error for unknown labels.
+std::uint32_t resolve_vanilla(const Program& prog, const MemoryLayout& layout,
+                              const std::string& label);
+
+/// Lay out and encode the program sequentially.
+LoadImage link_vanilla(const Program& prog, const MemoryLayout& layout = {});
+
+}  // namespace sofia::assembler

@@ -1,0 +1,59 @@
+// The assembler's symbolic output. Text-label references stay symbolic
+// (relocation records) because the SOFIA transformer re-lays out the code:
+// the same Program can be linked sequentially (vanilla baseline) or packed
+// into SOFIA execution/multiplexor blocks, with relocations resolved against
+// whichever layout was chosen.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "isa/isa.hpp"
+
+namespace sofia::assembler {
+
+/// How an instruction's immediate refers to a label.
+enum class RelocKind : std::uint8_t {
+  kNone,
+  kBranch,  ///< imm14 = signed word offset to a text label (cond branches)
+  kCall,    ///< imm22 = signed word offset to a text label (jal)
+  kHi18,    ///< lui imm18 = address >> 14 (la expansion, first half)
+  kLo14,    ///< ori imm14 = address & 0x3fff (la expansion, second half)
+};
+
+/// One assembled instruction plus provenance and relocation info.
+struct SourceInst {
+  isa::Instruction inst;
+  RelocKind reloc = RelocKind::kNone;
+  std::string target;  ///< label name when reloc != kNone
+  /// Static target set for an indirect jump (`.targets` annotation); the
+  /// SOFIA transformer devirtualizes against this set (DESIGN.md §3.5).
+  std::vector<std::string> indirect_targets;
+  int line = 0;  ///< 1-based source line, for diagnostics
+};
+
+/// A 32-bit absolute address slot in the data section (.word label).
+struct DataReloc {
+  std::uint32_t offset = 0;  ///< byte offset within the data section
+  std::string symbol;
+};
+
+struct Program {
+  std::vector<SourceInst> text;
+  std::unordered_map<std::string, std::uint32_t> text_labels;  ///< name -> inst index
+  std::vector<std::uint8_t> data;
+  std::unordered_map<std::string, std::uint32_t> data_labels;  ///< name -> byte offset
+  std::vector<DataReloc> data_relocs;
+  std::string entry = "main";
+
+  bool has_text_label(const std::string& name) const {
+    return text_labels.count(name) != 0;
+  }
+};
+
+/// Assemble SR32 source. Throws sofia::AsmError with line info on failure.
+Program assemble(std::string_view source);
+
+}  // namespace sofia::assembler

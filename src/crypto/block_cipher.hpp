@@ -1,0 +1,39 @@
+// Abstract 64-bit block cipher, the primitive both SOFIA mechanisms build
+// on: CTR-mode instruction encryption (CFI) and CBC-MAC (SI). The
+// architecture is cipher-agnostic; the paper instantiates RECTANGLE-80.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+
+#include "crypto/cipher_key.hpp"
+
+namespace sofia::crypto {
+
+class BlockCipher64 {
+ public:
+  virtual ~BlockCipher64() = default;
+
+  /// Encrypt one 64-bit block.
+  virtual std::uint64_t encrypt(std::uint64_t block) const = 0;
+
+  /// Decrypt one 64-bit block (inverse of encrypt).
+  virtual std::uint64_t decrypt(std::uint64_t block) const = 0;
+
+  /// Human-readable cipher name, e.g. "RECTANGLE-80".
+  virtual std::string_view name() const = 0;
+};
+
+/// Supported cipher algorithms.
+enum class CipherKind {
+  kRectangle80,  ///< the paper's cipher: 64-bit block, 80-bit key, 25 rounds
+  kSpeck64_128,  ///< reference PRP with published test vectors
+};
+
+std::string_view to_string(CipherKind kind);
+
+/// Instantiate a cipher with the given key material.
+std::unique_ptr<BlockCipher64> make_cipher(CipherKind kind, const CipherKey& key);
+
+}  // namespace sofia::crypto

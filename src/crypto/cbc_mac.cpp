@@ -1,0 +1,18 @@
+#include "crypto/cbc_mac.hpp"
+
+namespace sofia::crypto {
+
+std::uint64_t cbc_mac64(const BlockCipher64& cipher,
+                        std::span<const std::uint32_t> words) {
+  std::uint64_t chain = 0;
+  std::size_t i = 0;
+  while (i < words.size()) {
+    std::uint64_t block = words[i];
+    if (i + 1 < words.size()) block |= static_cast<std::uint64_t>(words[i + 1]) << 32;
+    chain = cipher.encrypt(chain ^ block);
+    i += 2;
+  }
+  return chain;
+}
+
+}  // namespace sofia::crypto

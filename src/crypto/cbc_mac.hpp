@@ -1,0 +1,39 @@
+// CBC-MAC over 32-bit instruction words (paper §II-B, ISO/IEC 9797-1 MAC
+// algorithm 1). CBC-MAC is only secure for fixed-length messages; SOFIA
+// fixes the length per *key*: k2 authenticates execution blocks (6 words),
+// k3 authenticates multiplexor blocks (5 words, zero-padded to 6). The
+// 64-bit tag is stored as two 32-bit words M1 (low half) and M2 (high half).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "crypto/block_cipher.hpp"
+
+namespace sofia::crypto {
+
+/// 64-bit CBC-MAC tag with zero IV. Words are paired little-endian-first:
+/// block_i = words[2i] | words[2i+1] << 32; an odd trailing word is
+/// zero-padded (fixed, length-preserving padding — safe because each key
+/// only ever authenticates one message length).
+std::uint64_t cbc_mac64(const BlockCipher64& cipher,
+                        std::span<const std::uint32_t> words);
+
+/// Low 32-bit tag word (the paper's M1).
+constexpr std::uint32_t mac_word1(std::uint64_t tag) {
+  return static_cast<std::uint32_t>(tag);
+}
+
+/// High 32-bit tag word (the paper's M2).
+constexpr std::uint32_t mac_word2(std::uint64_t tag) {
+  return static_cast<std::uint32_t>(tag >> 32);
+}
+
+/// Keep only the low `bits` bits of a tag — used exclusively by the
+/// Monte-Carlo forgery experiments that scale the paper's 2^(n-1) analysis
+/// down to feasible tag lengths.
+constexpr std::uint64_t truncate_tag(std::uint64_t tag, unsigned bits) {
+  return bits >= 64 ? tag : tag & ((std::uint64_t{1} << bits) - 1);
+}
+
+}  // namespace sofia::crypto

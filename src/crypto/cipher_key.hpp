@@ -1,0 +1,25 @@
+// Key material container. SOFIA devices embed keys that only the block
+// cipher can read; the same bytes are shared with the software provider's
+// transformation toolchain. A single fixed-size container holds keys for
+// any supported cipher (RECTANGLE-80 uses 10 bytes, SPECK-64/128 uses 16).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace sofia::crypto {
+
+/// Up to 128 bits of key material; ciphers consume a prefix.
+using CipherKey = std::array<std::uint8_t, 16>;
+
+/// Build a key from two 64-bit words (w0 = bytes 0..7 LE, w1 = bytes 8..15).
+constexpr CipherKey make_key(std::uint64_t w0, std::uint64_t w1 = 0) {
+  CipherKey k{};
+  for (int i = 0; i < 8; ++i) {
+    k[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(w0 >> (8 * i));
+    k[static_cast<std::size_t>(8 + i)] = static_cast<std::uint8_t>(w1 >> (8 * i));
+  }
+  return k;
+}
+
+}  // namespace sofia::crypto

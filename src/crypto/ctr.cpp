@@ -1,0 +1,13 @@
+#include "crypto/ctr.hpp"
+
+namespace sofia::crypto {
+
+std::string_view to_string(Granularity g) {
+  switch (g) {
+    case Granularity::kPerWord: return "per-word";
+    case Granularity::kPerPair: return "per-pair";
+  }
+  return "?";
+}
+
+}  // namespace sofia::crypto

@@ -1,0 +1,47 @@
+// SOFIA's control-flow-dependent CTR mode (paper §II-A, Alg. 1).
+//
+// Counter layout (the paper leaves field widths open; see DESIGN.md §3):
+//   I = { ω (16 bits) ‖ prevWordAddr (24 bits) ‖ wordAddr (24 bits) }
+// packed MSB-first into the 64-bit cipher block. Addresses are *word*
+// addresses (byte address >> 2); 24 bits cover 64 MiB of text.
+//
+// Encryption: c = E_k1(I) ⊕ m, keyed per word (Granularity::kPerWord, the
+// semantics of Alg. 1) or per aligned pair of words (kPerPair, what the
+// 64-bit-block hardware of §III does — one cipher op covers two words).
+#pragma once
+
+#include <cstdint>
+
+#include "crypto/block_cipher.hpp"
+
+namespace sofia::crypto {
+
+/// How much instruction text one CTR cipher operation covers.
+enum class Granularity {
+  kPerWord,  ///< one cipher op per 32-bit word (Alg. 1; finest CFI)
+  kPerPair,  ///< one cipher op per aligned 64-bit pair (the §III hardware)
+};
+
+std::string_view to_string(Granularity g);
+
+/// Pack the SOFIA counter. Addresses are word addresses, truncated to 24 bits.
+constexpr std::uint64_t pack_counter(std::uint16_t omega, std::uint32_t prev_word,
+                                     std::uint32_t word) {
+  return (static_cast<std::uint64_t>(omega) << 48) |
+         (static_cast<std::uint64_t>(prev_word & 0xFFFFFFu) << 24) |
+         (word & 0xFFFFFFu);
+}
+
+/// Full 64-bit keystream block for a counter value.
+inline std::uint64_t keystream64(const BlockCipher64& cipher, std::uint16_t omega,
+                                 std::uint32_t prev_word, std::uint32_t word) {
+  return cipher.encrypt(pack_counter(omega, prev_word, word));
+}
+
+/// Alg. 1's "r least-significant bits" with r = 32: the per-word keystream.
+inline std::uint32_t keystream32(const BlockCipher64& cipher, std::uint16_t omega,
+                                 std::uint32_t prev_word, std::uint32_t word) {
+  return static_cast<std::uint32_t>(keystream64(cipher, omega, prev_word, word));
+}
+
+}  // namespace sofia::crypto

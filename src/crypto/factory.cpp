@@ -1,0 +1,24 @@
+#include "crypto/block_cipher.hpp"
+#include "crypto/rectangle80.hpp"
+#include "crypto/speck64.hpp"
+#include "support/error.hpp"
+
+namespace sofia::crypto {
+
+std::string_view to_string(CipherKind kind) {
+  switch (kind) {
+    case CipherKind::kRectangle80: return "RECTANGLE-80";
+    case CipherKind::kSpeck64_128: return "SPECK-64/128";
+  }
+  return "?";
+}
+
+std::unique_ptr<BlockCipher64> make_cipher(CipherKind kind, const CipherKey& key) {
+  switch (kind) {
+    case CipherKind::kRectangle80: return std::make_unique<Rectangle80>(key);
+    case CipherKind::kSpeck64_128: return std::make_unique<Speck64>(key);
+  }
+  throw Error("make_cipher: unknown cipher kind");
+}
+
+}  // namespace sofia::crypto

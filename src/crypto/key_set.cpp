@@ -1,0 +1,27 @@
+#include "crypto/key_set.hpp"
+
+#include "support/rng.hpp"
+
+namespace sofia::crypto {
+
+KeySet KeySet::random(CipherKind kind, Rng& rng) {
+  KeySet ks;
+  ks.kind = kind;
+  for (auto* key : {&ks.k1, &ks.k2, &ks.k3}) {
+    for (auto& byte : *key) byte = static_cast<std::uint8_t>(rng.next_u32());
+  }
+  ks.omega = static_cast<std::uint16_t>(rng.next_u32());
+  return ks;
+}
+
+KeySet KeySet::example(CipherKind kind) {
+  KeySet ks;
+  ks.kind = kind;
+  ks.k1 = make_key(0x0123456789ABCDEFull, 0xFEDCBA9876543210ull);
+  ks.k2 = make_key(0x0F1E2D3C4B5A6978ull, 0x8796A5B4C3D2E1F0ull);
+  ks.k3 = make_key(0xDEADBEEFCAFEF00Dull, 0x0123456789ABCDEFull);
+  ks.omega = 0x5AFE;
+  return ks;
+}
+
+}  // namespace sofia::crypto

@@ -1,0 +1,168 @@
+#include "crypto/rectangle80.hpp"
+
+#include "support/bits.hpp"
+
+namespace sofia::crypto {
+namespace {
+
+constexpr std::uint8_t kSbox[16] = {0x6, 0x5, 0xC, 0xA, 0x1, 0xE, 0x7, 0x9,
+                                    0xB, 0x0, 0x3, 0xD, 0x8, 0xF, 0x4, 0x2};
+
+constexpr std::array<std::uint8_t, 16> invert_sbox() {
+  std::array<std::uint8_t, 16> inv{};
+  for (int i = 0; i < 16; ++i) inv[kSbox[i]] = static_cast<std::uint8_t>(i);
+  return inv;
+}
+constexpr std::array<std::uint8_t, 16> kInvSbox = invert_sbox();
+
+struct State {
+  std::uint16_t row[4];
+};
+
+State unpack(std::uint64_t block) {
+  State s;
+  for (int r = 0; r < 4; ++r)
+    s.row[r] = static_cast<std::uint16_t>(block >> (16 * r));
+  return s;
+}
+
+std::uint64_t pack(const State& s) {
+  std::uint64_t b = 0;
+  for (int r = 0; r < 4; ++r) b |= static_cast<std::uint64_t>(s.row[r]) << (16 * r);
+  return b;
+}
+
+// SubColumn over 4 columns at a time via a 64Ki-entry table: the index packs
+// the same-position nibbles of the four rows; the value holds the
+// S-transformed nibbles in the same layout. One table serves every column
+// group because the S-box is position-independent.
+struct ColumnTable {
+  std::uint16_t fwd[65536];
+  std::uint16_t inv[65536];
+};
+
+const ColumnTable& column_table() {
+  static const ColumnTable table = [] {
+    ColumnTable t{};
+    for (std::uint32_t idx = 0; idx < 65536; ++idx) {
+      std::uint16_t f = 0;
+      std::uint16_t i = 0;
+      for (int col = 0; col < 4; ++col) {
+        std::uint8_t nib = 0;
+        for (int r = 0; r < 4; ++r)
+          nib |= static_cast<std::uint8_t>(((idx >> (4 * r + col)) & 1u) << r);
+        const std::uint8_t sf = kSbox[nib];
+        const std::uint8_t si = kInvSbox[nib];
+        for (int r = 0; r < 4; ++r) {
+          f |= static_cast<std::uint16_t>(((sf >> r) & 1u) << (4 * r + col));
+          i |= static_cast<std::uint16_t>(((si >> r) & 1u) << (4 * r + col));
+        }
+      }
+      t.fwd[idx] = f;
+      t.inv[idx] = i;
+    }
+    return t;
+  }();
+  return table;
+}
+
+template <bool kInverse>
+void sub_column(State& s) {
+  const ColumnTable& t = column_table();
+  std::uint16_t out[4] = {0, 0, 0, 0};
+  for (int g = 0; g < 4; ++g) {
+    const unsigned shift = 4u * static_cast<unsigned>(g);
+    const std::uint32_t idx = ((s.row[0] >> shift) & 0xFu) |
+                              (((s.row[1] >> shift) & 0xFu) << 4) |
+                              (((s.row[2] >> shift) & 0xFu) << 8) |
+                              (((s.row[3] >> shift) & 0xFu) << 12);
+    const std::uint16_t packed = kInverse ? t.inv[idx] : t.fwd[idx];
+    for (int r = 0; r < 4; ++r)
+      out[r] |= static_cast<std::uint16_t>(((packed >> (4 * r)) & 0xFu) << shift);
+  }
+  for (int r = 0; r < 4; ++r) s.row[r] = out[r];
+}
+
+void shift_row(State& s) {
+  s.row[1] = rotl16(s.row[1], 1);
+  s.row[2] = rotl16(s.row[2], 12);
+  s.row[3] = rotl16(s.row[3], 13);
+}
+
+void inv_shift_row(State& s) {
+  s.row[1] = rotr16(s.row[1], 1);
+  s.row[2] = rotr16(s.row[2], 12);
+  s.row[3] = rotr16(s.row[3], 13);
+}
+
+}  // namespace
+
+std::array<std::uint8_t, Rectangle80::kRounds> Rectangle80::round_constants() {
+  // 5-bit LFSR: shift left, feedback bit = bit4 ^ bit2 of the previous value.
+  std::array<std::uint8_t, kRounds> rc{};
+  std::uint8_t v = 0x01;
+  for (int i = 0; i < kRounds; ++i) {
+    rc[static_cast<std::size_t>(i)] = v;
+    const std::uint8_t fb = static_cast<std::uint8_t>(((v >> 4) ^ (v >> 2)) & 1u);
+    v = static_cast<std::uint8_t>(((v << 1) | fb) & 0x1Fu);
+  }
+  return rc;
+}
+
+Rectangle80::Rectangle80(const CipherKey& key) {
+  std::uint16_t k[5];
+  for (int r = 0; r < 5; ++r) {
+    k[r] = static_cast<std::uint16_t>(
+        key[static_cast<std::size_t>(2 * r)] |
+        (key[static_cast<std::size_t>(2 * r + 1)] << 8));
+  }
+  const auto rc = round_constants();
+  for (int i = 0; i <= kRounds; ++i) {
+    for (int r = 0; r < 4; ++r) subkeys_[static_cast<std::size_t>(i)].row[r] = k[r];
+    if (i == kRounds) break;
+    // S-box on the 4 low-order columns of rows 0..3.
+    for (int col = 0; col < 4; ++col) {
+      std::uint8_t nib = 0;
+      for (int r = 0; r < 4; ++r)
+        nib |= static_cast<std::uint8_t>(((k[r] >> col) & 1u) << r);
+      const std::uint8_t sv = kSbox[nib];
+      for (int r = 0; r < 4; ++r) {
+        k[r] = static_cast<std::uint16_t>(k[r] & ~(1u << col));
+        k[r] |= static_cast<std::uint16_t>(((sv >> r) & 1u) << col);
+      }
+    }
+    // Generalized Feistel step.
+    const std::uint16_t r0 = k[0];
+    k[0] = static_cast<std::uint16_t>(rotl16(k[0], 8) ^ k[1]);
+    k[1] = k[2];
+    k[2] = k[3];
+    k[3] = static_cast<std::uint16_t>(rotl16(k[3], 12) ^ k[4]);
+    k[4] = r0;
+    // Round constant into the low 5 bits of row 0.
+    k[0] = static_cast<std::uint16_t>(k[0] ^ rc[static_cast<std::size_t>(i)]);
+  }
+}
+
+std::uint64_t Rectangle80::encrypt(std::uint64_t block) const {
+  State s = unpack(block);
+  for (int i = 0; i < kRounds; ++i) {
+    for (int r = 0; r < 4; ++r) s.row[r] ^= subkeys_[static_cast<std::size_t>(i)].row[r];
+    sub_column<false>(s);
+    shift_row(s);
+  }
+  for (int r = 0; r < 4; ++r) s.row[r] ^= subkeys_[kRounds].row[r];
+  return pack(s);
+}
+
+std::uint64_t Rectangle80::decrypt(std::uint64_t block) const {
+  State s = unpack(block);
+  for (int r = 0; r < 4; ++r) s.row[r] ^= subkeys_[kRounds].row[r];
+  for (int i = kRounds - 1; i >= 0; --i) {
+    inv_shift_row(s);
+    sub_column<true>(s);
+    for (int r = 0; r < 4; ++r) s.row[r] ^= subkeys_[static_cast<std::size_t>(i)].row[r];
+  }
+  return pack(s);
+}
+
+}  // namespace sofia::crypto

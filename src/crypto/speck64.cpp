@@ -1,0 +1,59 @@
+#include "crypto/speck64.hpp"
+
+#include "support/bits.hpp"
+
+namespace sofia::crypto {
+namespace {
+
+// Block layout: x = high 32 bits, y = low 32 bits (matches the reference
+// test vector convention where plaintext is printed "x y").
+void round_enc(std::uint32_t& x, std::uint32_t& y, std::uint32_t k) {
+  x = (rotr32(x, 8) + y) ^ k;
+  y = rotl32(y, 3) ^ x;
+}
+
+void round_dec(std::uint32_t& x, std::uint32_t& y, std::uint32_t k) {
+  y = rotr32(y ^ x, 3);
+  x = rotl32((x ^ k) - y, 8);
+}
+
+}  // namespace
+
+Speck64::Speck64(const CipherKey& key) {
+  std::uint32_t kw[4];
+  for (int i = 0; i < 4; ++i) {
+    kw[i] = static_cast<std::uint32_t>(key[static_cast<std::size_t>(4 * i)]) |
+            (static_cast<std::uint32_t>(key[static_cast<std::size_t>(4 * i + 1)]) << 8) |
+            (static_cast<std::uint32_t>(key[static_cast<std::size_t>(4 * i + 2)]) << 16) |
+            (static_cast<std::uint32_t>(key[static_cast<std::size_t>(4 * i + 3)]) << 24);
+  }
+  // k0 = kw[0]; l0..l2 = kw[1..3] (m = 4 key words).
+  std::uint32_t l[kRounds + 3];
+  std::uint32_t k = kw[0];
+  l[0] = kw[1];
+  l[1] = kw[2];
+  l[2] = kw[3];
+  for (int i = 0; i < kRounds; ++i) {
+    round_keys_[static_cast<std::size_t>(i)] = k;
+    if (i == kRounds - 1) break;
+    l[i + 3] = (k + rotr32(l[i], 8)) ^ static_cast<std::uint32_t>(i);
+    k = rotl32(k, 3) ^ l[i + 3];
+  }
+}
+
+std::uint64_t Speck64::encrypt(std::uint64_t block) const {
+  auto x = static_cast<std::uint32_t>(block >> 32);
+  auto y = static_cast<std::uint32_t>(block);
+  for (const std::uint32_t k : round_keys_) round_enc(x, y, k);
+  return (static_cast<std::uint64_t>(x) << 32) | y;
+}
+
+std::uint64_t Speck64::decrypt(std::uint64_t block) const {
+  auto x = static_cast<std::uint32_t>(block >> 32);
+  auto y = static_cast<std::uint32_t>(block);
+  for (int i = kRounds - 1; i >= 0; --i)
+    round_dec(x, y, round_keys_[static_cast<std::size_t>(i)]);
+  return (static_cast<std::uint64_t>(x) << 32) | y;
+}
+
+}  // namespace sofia::crypto

@@ -1,0 +1,30 @@
+// SPECK-64/128 (Beaulieu et al., NSA, 2013): 64-bit block, 128-bit key,
+// 27 rounds. Not part of the SOFIA paper; included as an independently
+// test-vectored PRP so that the mode-level code (CTR keystream, CBC-MAC)
+// and the whole toolchain can be validated against known-good crypto, and
+// as a cipher ablation point (see DESIGN.md).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "crypto/block_cipher.hpp"
+
+namespace sofia::crypto {
+
+class Speck64 final : public BlockCipher64 {
+ public:
+  static constexpr int kRounds = 27;
+
+  /// Key words k[i] = bytes 4i..4i+3 little-endian; k0 = key schedule word 0.
+  explicit Speck64(const CipherKey& key);
+
+  std::uint64_t encrypt(std::uint64_t block) const override;
+  std::uint64_t decrypt(std::uint64_t block) const override;
+  std::string_view name() const override { return "SPECK-64/128"; }
+
+ private:
+  std::array<std::uint32_t, kRounds> round_keys_{};
+};
+
+}  // namespace sofia::crypto

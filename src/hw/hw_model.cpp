@@ -1,0 +1,36 @@
+#include "hw/hw_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sofia::hw {
+
+HwEstimate HwModel::vanilla() const {
+  HwEstimate e;
+  e.slices = vanilla_slices;
+  e.period_ns = vanilla_period_ns;
+  e.clock_mhz = 1e3 / e.period_ns;
+  return e;
+}
+
+int HwModel::round_instances(int unroll_cycles) const {
+  return (total_rounds + unroll_cycles - 1) / unroll_cycles;
+}
+
+HwEstimate HwModel::sofia(int unroll_cycles) const {
+  const int instances = round_instances(unroll_cycles);
+  HwEstimate e;
+  e.slices = vanilla_slices + instances * round_slices + fixed_slices;
+  const double cipher_path = instances * round_delay_ns + cipher_overhead_ns;
+  e.period_ns = std::max(vanilla_period_ns, cipher_path);
+  e.clock_mhz = 1e3 / e.period_ns;
+  return e;
+}
+
+double execution_time_ms(std::uint64_t cycles, double clock_mhz) {
+  return static_cast<double>(cycles) / (clock_mhz * 1e3);
+}
+
+double overhead_pct(double a, double b) { return (b / a - 1.0) * 100.0; }
+
+}  // namespace sofia::hw

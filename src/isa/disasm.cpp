@@ -1,0 +1,83 @@
+#include "isa/disasm.hpp"
+
+#include "support/hex.hpp"
+
+namespace sofia::isa {
+namespace {
+
+std::string reg(unsigned r) { return std::string(reg_name(r)); }
+
+std::string target(std::uint32_t addr, std::int32_t word_off) {
+  if (addr == 0 && word_off <= 0) return std::to_string(word_off) + " (words)";
+  return hex32_0x(addr + static_cast<std::uint32_t>(word_off * 4));
+}
+
+}  // namespace
+
+std::string disassemble(const Instruction& inst, std::uint32_t addr) {
+  const std::string m(mnemonic(inst.op));
+  switch (inst.op) {
+    case Opcode::kNop:
+    case Opcode::kHalt:
+      return m;
+    case Opcode::kAdd:
+    case Opcode::kSub:
+    case Opcode::kAnd:
+    case Opcode::kOr:
+    case Opcode::kXor:
+    case Opcode::kSll:
+    case Opcode::kSrl:
+    case Opcode::kSra:
+    case Opcode::kSlt:
+    case Opcode::kSltu:
+    case Opcode::kMul:
+      return m + " " + reg(inst.rd) + ", " + reg(inst.ra) + ", " + reg(inst.rb);
+    case Opcode::kAddi:
+    case Opcode::kAndi:
+    case Opcode::kOri:
+    case Opcode::kXori:
+    case Opcode::kSlli:
+    case Opcode::kSrli:
+    case Opcode::kSrai:
+    case Opcode::kSlti:
+    case Opcode::kSltiu:
+      return m + " " + reg(inst.rd) + ", " + reg(inst.ra) + ", " +
+             std::to_string(inst.imm);
+    case Opcode::kLui:
+      return m + " " + reg(inst.rd) + ", 0x" + hex32(static_cast<std::uint32_t>(inst.imm));
+    case Opcode::kLw:
+    case Opcode::kLh:
+    case Opcode::kLhu:
+    case Opcode::kLb:
+    case Opcode::kLbu:
+      return m + " " + reg(inst.rd) + ", " + std::to_string(inst.imm) + "(" +
+             reg(inst.ra) + ")";
+    case Opcode::kSw:
+    case Opcode::kSh:
+    case Opcode::kSb:
+      return m + " " + reg(inst.rd) + ", " + std::to_string(inst.imm) + "(" +
+             reg(inst.ra) + ")";
+    case Opcode::kBeq:
+    case Opcode::kBne:
+    case Opcode::kBlt:
+    case Opcode::kBge:
+    case Opcode::kBltu:
+    case Opcode::kBgeu:
+      return m + " " + reg(inst.ra) + ", " + reg(inst.rb) + ", " +
+             target(addr, inst.imm);
+    case Opcode::kJal:
+      return m + " " + reg(inst.rd) + ", " + target(addr, inst.imm);
+    case Opcode::kJalr:
+      return m + " " + reg(inst.rd) + ", " + reg(inst.ra) + ", " +
+             std::to_string(inst.imm);
+  }
+  return m;
+}
+
+std::string disassemble_word(std::uint32_t word, std::uint32_t addr) {
+  const auto inst = decode(word);
+  if (!inst) return ".word " + hex32_0x(word);
+  return disassemble(*inst, addr);
+}
+
+}  // namespace sofia::isa

@@ -1,0 +1,19 @@
+// Pretty-printing of SR32 instructions, used by the toolchain inspector
+// example, trace output, and test diagnostics.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "isa/isa.hpp"
+
+namespace sofia::isa {
+
+/// Render one instruction. `addr` (byte address of the instruction) is used
+/// to print absolute branch/JAL targets; pass 0 to print relative offsets.
+std::string disassemble(const Instruction& inst, std::uint32_t addr = 0);
+
+/// Decode-and-render a raw word; undecodable words print as ".word 0x...".
+std::string disassemble_word(std::uint32_t word, std::uint32_t addr = 0);
+
+}  // namespace sofia::isa

@@ -1,0 +1,245 @@
+#include "security/attacks.hpp"
+
+#include "assembler/link.hpp"
+#include "support/error.hpp"
+
+namespace sofia::security {
+
+namespace {
+
+sim::SimConfig with_keys(sim::SimConfig config, const crypto::KeySet& keys,
+                         const xform::BlockPolicy& policy) {
+  config.keys = keys;
+  config.policy = policy;
+  // Attacked runs can loop on garbage; keep the budget bounded.
+  if (config.max_cycles > 50'000'000) config.max_cycles = 50'000'000;
+  return config;
+}
+
+}  // namespace
+
+AttackHarness::AttackHarness(std::string source, crypto::KeySet keys,
+                             xform::Options opts, sim::SimConfig base_config)
+    : source_(std::move(source)),
+      keys_(keys),
+      opts_(opts),
+      config_(with_keys(base_config, keys, opts.policy)),
+      result_(xform::transform(assembler::assemble(source_), keys_, opts_)),
+      clean_(sim::run_image(result_.image, config_)) {
+  if (!clean_.ok())
+    throw Error("attack harness: clean run failed: " +
+                std::string(to_string(clean_.status)));
+}
+
+AttackOutcome AttackHarness::run_tampered(std::string name,
+                                          assembler::LoadImage image) const {
+  AttackOutcome outcome;
+  outcome.name = std::move(name);
+  outcome.run = sim::run_image(image, config_);
+  outcome.detected = outcome.run.status == sim::RunResult::Status::kReset;
+  outcome.output_clean = outcome.run.output == clean_.output;
+  return outcome;
+}
+
+AttackOutcome AttackHarness::flip_bit(std::uint32_t word_index,
+                                      unsigned bit) const {
+  auto image = result_.image;
+  image.text.at(word_index) ^= (1u << (bit & 31));
+  return run_tampered("flip-bit w" + std::to_string(word_index) + " b" +
+                          std::to_string(bit),
+                      std::move(image));
+}
+
+AttackOutcome AttackHarness::patch_word(std::uint32_t word_index,
+                                        std::uint32_t value) const {
+  auto image = result_.image;
+  image.text.at(word_index) = value;
+  return run_tampered("patch-word w" + std::to_string(word_index),
+                      std::move(image));
+}
+
+AttackOutcome AttackHarness::relocate_word(std::uint32_t from_index,
+                                           std::uint32_t to_index) const {
+  auto image = result_.image;
+  image.text.at(to_index) = image.text.at(from_index);
+  return run_tampered("relocate-word " + std::to_string(from_index) + "->" +
+                          std::to_string(to_index),
+                      std::move(image));
+}
+
+AttackOutcome AttackHarness::splice_block(std::uint32_t from_block,
+                                          std::uint32_t to_block) const {
+  auto image = result_.image;
+  const std::uint32_t b = opts_.policy.words_per_block;
+  for (std::uint32_t j = 0; j < b; ++j)
+    image.text.at(to_block * b + j) = image.text.at(from_block * b + j);
+  return run_tampered("splice-block " + std::to_string(from_block) + "->" +
+                          std::to_string(to_block),
+                      std::move(image));
+}
+
+AttackOutcome AttackHarness::cross_version_splice(
+    std::uint16_t other_omega, std::uint32_t block_index) const {
+  // Build the same program as a different version (new omega), then graft
+  // one of its blocks into the current binary.
+  crypto::KeySet other_keys = keys_;
+  other_keys.omega = other_omega;
+  const auto other =
+      xform::transform(assembler::assemble(source_), other_keys, opts_);
+  auto image = result_.image;
+  const std::uint32_t b = opts_.policy.words_per_block;
+  for (std::uint32_t j = 0; j < b; ++j)
+    image.text.at(block_index * b + j) = other.image.text.at(block_index * b + j);
+  return run_tampered("cross-version-splice block " + std::to_string(block_index),
+                      std::move(image));
+}
+
+std::vector<AttackOutcome> AttackHarness::random_bit_flips(Rng& rng,
+                                                           int count) const {
+  std::vector<AttackOutcome> outcomes;
+  outcomes.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    const auto word =
+        static_cast<std::uint32_t>(rng.next_below(result_.image.text.size()));
+    const auto bit = static_cast<unsigned>(rng.next_below(32));
+    outcomes.push_back(flip_bit(word, bit));
+  }
+  return outcomes;
+}
+
+// ---------------------------------------------------------------------------
+// ROP demonstration.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// The victim: `vuln` loads a return address from attacker-controlled input
+// (modelling a stack smash) and returns through it. The gadget holds the
+// store that must never execute. attacker_input == 0 means benign input.
+constexpr char kVictimSource[] = R"(
+main:
+  call vuln
+  li r10, 0xFFFF0008
+  li r1, 1111
+  sw r1, 0(r10)
+  halt
+vuln:
+  la r2, attacker_input
+  lw r3, 0(r2)
+  beqz r3, benign
+  mv lr, r3          ; smashed return address
+benign:
+  ret
+gadget:              ; the "disable the brakes" store (paper §II-B-2)
+  li r10, 0xFFFF0008
+  li r1, 6666
+  sw r1, 0(r10)
+  halt
+.data
+attacker_input: .word 0
+)";
+
+void patch_attacker_input(assembler::LoadImage& image, std::uint32_t gadget_addr) {
+  // attacker_input is the first data word.
+  for (int i = 0; i < 4; ++i)
+    image.data.at(static_cast<std::size_t>(i)) =
+        static_cast<std::uint8_t>(gadget_addr >> (8 * i));
+}
+
+}  // namespace
+
+namespace {
+
+// The JOP victim: handler pointers live in writable data; the dispatch is
+// annotated with the two legitimate handlers only.
+constexpr char kJopVictimSource[] = R"(
+main:
+  la r2, table
+  lw r4, 0(r2)        ; select handler 0
+  li r1, 5
+  .targets inc, dec
+  jalr lr, r4
+  li r10, 0xFFFF0008
+  sw r1, 0(r10)
+  halt
+inc:
+  addi r1, r1, 1
+  ret
+dec:
+  addi r1, r1, -1
+  ret
+gadget:
+  li r10, 0xFFFF0008
+  li r1, 7777
+  sw r1, 0(r10)
+  halt
+.data
+table: .word inc, dec
+)";
+
+void patch_table_entry(assembler::LoadImage& image, std::uint32_t value) {
+  for (int i = 0; i < 4; ++i)
+    image.data.at(static_cast<std::size_t>(i)) =
+        static_cast<std::uint8_t>(value >> (8 * i));
+}
+
+}  // namespace
+
+JopDemo run_jop_demo(const crypto::KeySet& keys) {
+  JopDemo demo;
+  const auto prog = assembler::assemble(kJopVictimSource);
+
+  const assembler::MemoryLayout mem;
+  auto vanilla_img = assembler::link_vanilla(prog, mem);
+  sim::SimConfig vconfig;
+  demo.vanilla_clean = sim::run_image(vanilla_img, vconfig);
+  patch_table_entry(vanilla_img, assembler::resolve_vanilla(prog, mem, "gadget"));
+  demo.vanilla_attacked = sim::run_image(vanilla_img, vconfig);
+
+  const xform::Options opts;
+  auto result = xform::transform(prog, keys, opts);
+  sim::SimConfig sconfig;
+  sconfig.keys = keys;
+  sconfig.policy = opts.policy;
+  sconfig.max_cycles = 10'000'000;
+  demo.sofia_clean = sim::run_image(result.image, sconfig);
+  // The attacker aims at the gadget's canonical (placed) address — the same
+  // value `la` would materialize, so the comparison chain sees a perfect
+  // but unlisted pointer.
+  const std::uint32_t gadget_index = result.normalized.text_labels.at("gadget");
+  patch_table_entry(result.image, result.layout.placed_addr(gadget_index));
+  demo.sofia_attacked = sim::run_image(result.image, sconfig);
+  return demo;
+}
+
+RopDemo run_rop_demo(const crypto::KeySet& keys) {
+  RopDemo demo;
+  const auto prog = assembler::assemble(kVictimSource);
+
+  // Vanilla target.
+  const assembler::MemoryLayout mem;
+  auto vanilla_img = assembler::link_vanilla(prog, mem);
+  sim::SimConfig vconfig;
+  demo.vanilla_clean = sim::run_image(vanilla_img, vconfig);
+  const std::uint32_t vanilla_gadget =
+      assembler::resolve_vanilla(prog, mem, "gadget");
+  patch_attacker_input(vanilla_img, vanilla_gadget);
+  demo.vanilla_attacked = sim::run_image(vanilla_img, vconfig);
+
+  // SOFIA target: the attacker knows the transformed layout (Kerckhoffs)
+  // and aims at the base of the gadget's block.
+  const xform::Options opts;
+  auto result = xform::transform(prog, keys, opts);
+  sim::SimConfig sconfig;
+  sconfig.keys = keys;
+  sconfig.policy = opts.policy;
+  sconfig.max_cycles = 10'000'000;
+  demo.sofia_clean = sim::run_image(result.image, sconfig);
+  const std::uint32_t gadget_index = result.normalized.text_labels.at("gadget");
+  const std::uint32_t sofia_gadget = result.layout.block_base_addr(gadget_index);
+  patch_attacker_input(result.image, sofia_gadget);
+  demo.sofia_attacked = sim::run_image(result.image, sconfig);
+  return demo;
+}
+
+}  // namespace sofia::security

@@ -1,0 +1,59 @@
+// Timing model of the single shared cipher instance (paper §III): the
+// RECTANGLE round function is unrolled into a `latency`-cycle pipelined
+// operation, and the instance alternates between CTR-mode (instruction
+// keystream) and CBC-mode (MAC) operations every other cycle. Functional
+// crypto lives elsewhere; this class only assigns start/finish cycles.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/config.hpp"
+
+namespace sofia::sim {
+
+class CipherEngine {
+ public:
+  enum class Op : std::uint8_t { kCtr = 0, kCbc = 1 };
+
+  explicit CipherEngine(const CipherTiming& timing) : timing_(timing) {}
+
+  /// Schedule an operation whose inputs are ready at `earliest`; returns the
+  /// cycle its output is available.
+  std::uint64_t schedule(Op op, std::uint64_t earliest) {
+    std::uint64_t start = earliest;
+    if (!timing_.pipelined) {
+      // Iterative engine: busy for the whole operation. Alternation is
+      // implicit (one shared resource).
+      if (start < next_any_slot_) start = next_any_slot_;
+      next_any_slot_ = start + timing_.latency;
+      return start + timing_.latency;
+    }
+    if (timing_.alternate) {
+      // CTR ops start on even cycles, CBC on odd; each class therefore has
+      // an initiation interval of 2.
+      const std::uint64_t parity = (op == Op::kCtr) ? 0 : 1;
+      if (start % 2 != parity) ++start;
+      auto& next = next_class_slot_[static_cast<int>(op)];
+      if (start < next) start = next;
+      next = start + 2;
+    } else {
+      // Demand-driven fully pipelined engine: one op per cycle, any class.
+      if (start < next_any_slot_) start = next_any_slot_;
+      next_any_slot_ = start + 1;
+    }
+    return start + timing_.latency;
+  }
+
+  /// Drop queued work (fetch redirect).
+  void flush(std::uint64_t cycle) {
+    next_class_slot_[0] = next_class_slot_[1] = cycle;
+    next_any_slot_ = cycle;
+  }
+
+ private:
+  CipherTiming timing_;
+  std::uint64_t next_class_slot_[2] = {0, 0};
+  std::uint64_t next_any_slot_ = 0;
+};
+
+}  // namespace sofia::sim

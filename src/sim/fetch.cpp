@@ -1,0 +1,285 @@
+#include "sim/fetch.hpp"
+
+#include <algorithm>
+
+#include "crypto/cbc_mac.hpp"
+#include "crypto/ctr.hpp"
+
+namespace sofia::sim {
+
+// ---------------------------------------------------------------------------
+// VanillaFetch
+// ---------------------------------------------------------------------------
+
+VanillaFetch::VanillaFetch(const Memory& mem, ICache& icache,
+                           const SimConfig& config, std::uint32_t start_pc)
+    : mem_(mem), icache_(icache), config_(config), pc_(start_pc) {}
+
+std::optional<FetchedInst> VanillaFetch::step(std::uint64_t cycle, bool queue_full) {
+  if (waiting_ || reset_) return std::nullopt;
+  if (!fetching_) {
+    if (cycle < ready_at_) return std::nullopt;  // redirect not effective yet
+    fetching_ = true;
+    ready_at_ = cycle + icache_.access(pc_) - 1;
+  }
+  if (cycle < ready_at_ || queue_full) return std::nullopt;
+  const std::uint32_t word = apply_fault(config_.fault, mem_.load32(pc_));
+  const auto decoded = isa::decode(word);
+  if (!decoded) {
+    reset_ = ResetEvent{ResetCause::kIllegalInstruction, cycle, pc_};
+    return std::nullopt;
+  }
+  FetchedInst fi;
+  fi.inst = *decoded;
+  fi.pc = pc_;
+  fi.ready = cycle + 1;
+  fetching_ = false;
+  ++words_delivered;
+  if (decoded->op == isa::Opcode::kJal) {
+    // Direct jumps are followed at decode time (LEON3 resolves them early).
+    fi.fetch_redirected = true;
+    pc_ += static_cast<std::uint32_t>(decoded->imm * 4);
+  } else if (decoded->op == isa::Opcode::kJalr || decoded->op == isa::Opcode::kHalt) {
+    // Indirect target / end of program: wait for the execute side.
+    waiting_ = true;
+  } else {
+    // Plain instructions and conditional branches: continue sequentially
+    // (static not-taken speculation; a taken branch squashes via redirect).
+    pc_ += 4;
+  }
+  return fi;
+}
+
+void VanillaFetch::redirect(std::uint32_t target, std::uint32_t /*from_pc*/,
+                            std::uint64_t cycle) {
+  pc_ = target;
+  waiting_ = false;
+  fetching_ = false;
+  ready_at_ = cycle;
+}
+
+// ---------------------------------------------------------------------------
+// SofiaFetch
+// ---------------------------------------------------------------------------
+
+SofiaFetch::SofiaFetch(const Memory& mem, ICache& icache, CipherEngine& engine,
+                       const SimConfig& config, const assembler::LoadImage& image)
+    : mem_(mem),
+      icache_(icache),
+      engine_(engine),
+      config_(config),
+      text_base_word_(image.text_base / 4),
+      omega_(image.omega),
+      per_pair_(image.per_pair),
+      enc_(config.keys.encryption_cipher()),
+      exec_mac_(config.keys.exec_mac_cipher()),
+      mux_mac_(config.keys.mux_mac_cipher()) {
+  process_block(image.entry / 4, image.entry_prev, 0);
+}
+
+void SofiaFetch::redirect(std::uint32_t target, std::uint32_t from_pc,
+                          std::uint64_t cycle) {
+  staged_.clear();
+  waiting_ = false;
+  process_block(target / 4, from_pc / 4, cycle);
+}
+
+std::optional<FetchedInst> SofiaFetch::step(std::uint64_t cycle, bool queue_full) {
+  if (!queue_full && !staged_.empty() && staged_.front().ready <= cycle + 1) {
+    // One IF->ID handoff per cycle, paced by the decrypt timestamps.
+    FetchedInst fi = staged_.front();
+    staged_.pop_front();
+    ++words_delivered;
+    return fi;
+  }
+  // Run ahead into the next block once the current one has drained enough:
+  // a small stage buffer keeps at most ~2 blocks in flight, like a fetch
+  // queue would.
+  if (!waiting_ && !reset_ && staged_.size() <= 2 && cycle >= cont_cycle_)
+    process_block(next_block_word_, cont_prev_word_, cont_cycle_);
+  return std::nullopt;
+}
+
+void SofiaFetch::process_block(std::uint32_t target_word, std::uint32_t prev_word,
+                               std::uint64_t entry_cycle) {
+  if (reset_) return;
+  const std::uint32_t b = config_.policy.words_per_block;
+  const std::uint32_t rel = target_word - text_base_word_;
+  const std::uint32_t offset = rel % b;
+  const std::uint32_t base_word = target_word - offset;
+  ++blocks;
+
+  if (offset > 2) {
+    reset_ = ResetEvent{ResetCause::kInvalidEntry, entry_cycle, target_word * 4};
+    return;
+  }
+  const bool is_mux = offset != 0;
+  // Word indices fetched, in order. Path 1 (offset 1) starts at word 0 and
+  // skips word 1; path 2 (offset 2) starts at word 1.
+  std::vector<std::uint32_t> sched;
+  if (!is_mux) {
+    for (std::uint32_t j = 0; j < b; ++j) sched.push_back(j);
+  } else if (offset == 1) {
+    sched.push_back(0);
+    for (std::uint32_t j = 2; j < b; ++j) sched.push_back(j);
+  } else {
+    for (std::uint32_t j = 1; j < b; ++j) sched.push_back(j);
+  }
+
+  // ---- fetch words through the I-cache ----
+  // The SOFIA datapath reads fetch_words_per_cycle words per cycle (the
+  // 64-bit cipher block suggests 2); misses stall for the refill.
+  const std::uint32_t entry_word_index = sched.front();
+  const std::uint32_t per_cycle = std::max(1u, config_.fetch_words_per_cycle);
+  std::uint64_t cursor = entry_cycle;
+  std::vector<std::uint64_t> fetch_done(b, 0);
+  std::vector<std::uint32_t> raw(b, 0);
+  std::uint32_t in_cycle = 0;
+  for (const std::uint32_t j : sched) {
+    const std::uint32_t addr = (base_word + j) * 4;
+    const std::uint32_t delay = icache_.access(addr);
+    if (delay > 1) {
+      cursor += delay;
+      in_cycle = 1;
+    } else if (in_cycle == 0 || in_cycle >= per_cycle) {
+      cursor += 1;
+      in_cycle = 1;
+    } else {
+      ++in_cycle;
+    }
+    fetch_done[j] = cursor;
+    raw[j] = apply_fault(config_.fault, mem_.load32(addr));
+  }
+
+  // ---- CTR keystream (counters depend only on addresses: issue eagerly) ----
+  auto prev_for = [&](std::uint32_t j) {
+    return j == entry_word_index ? prev_word : base_word + j - 1;
+  };
+  std::vector<std::uint64_t> ks_done(b, 0);
+  std::vector<std::uint32_t> plain(b, 0);
+  if (!per_pair_) {
+    for (const std::uint32_t j : sched) {
+      ks_done[j] = engine_.schedule(CipherEngine::Op::kCtr, entry_cycle);
+      ++ctr_ops;
+      plain[j] = raw[j] ^ crypto::keystream32(*enc_, omega_, prev_for(j),
+                                              base_word + j);
+    }
+  } else {
+    // Multiplexor entry words are single-word granules; the body pairs up.
+    std::uint32_t body_start = is_mux ? 2 : 0;
+    if (is_mux) {
+      const std::uint32_t e = entry_word_index;
+      ks_done[e] = engine_.schedule(CipherEngine::Op::kCtr, entry_cycle);
+      ++ctr_ops;
+      plain[e] = raw[e] ^ crypto::keystream32(*enc_, omega_, prev_word,
+                                              base_word + e);
+    }
+    for (std::uint32_t j = body_start; j < b; j += 2) {
+      const std::uint64_t done = engine_.schedule(CipherEngine::Op::kCtr, entry_cycle);
+      ++ctr_ops;
+      const std::uint64_t ks = crypto::keystream64(
+          *enc_, omega_, j == 0 ? prev_word : base_word + j - 1, base_word + j);
+      ks_done[j] = done;
+      ks_done[j + 1] = done;
+      plain[j] = raw[j] ^ static_cast<std::uint32_t>(ks);
+      plain[j + 1] = raw[j + 1] ^ static_cast<std::uint32_t>(ks >> 32);
+    }
+  }
+
+  std::vector<std::uint64_t> decrypt_done(b, 0);
+  for (const std::uint32_t j : sched)
+    decrypt_done[j] = std::max(fetch_done[j], ks_done[j]);
+
+  // ---- split MAC words from instructions ----
+  const std::uint32_t first_inst = is_mux ? 3 : 2;
+  const std::uint32_t m1 = plain[entry_word_index];
+  const std::uint32_t m2 = plain[is_mux ? 2 : 1];
+  mac_words_seen += 2;
+  const std::uint64_t stored_tag =
+      (static_cast<std::uint64_t>(m2) << 32) | m1;
+
+  std::vector<std::uint32_t> inst_words(plain.begin() + first_inst, plain.end());
+
+  // ---- run-time CBC-MAC over the decrypted instructions ----
+  std::uint64_t chain_ready =
+      std::max(decrypt_done[entry_word_index], decrypt_done[is_mux ? 2 : 1]);
+  {
+    std::uint64_t prev_done = 0;
+    for (std::uint32_t w = first_inst; w < b; w += 2) {
+      std::uint64_t in_ready = decrypt_done[w];
+      if (w + 1 < b) in_ready = std::max(in_ready, decrypt_done[w + 1]);
+      in_ready = std::max(in_ready, prev_done);
+      prev_done = engine_.schedule(CipherEngine::Op::kCbc, in_ready);
+      ++cbc_ops;
+    }
+    chain_ready = std::max(chain_ready, prev_done);
+  }
+  const std::uint64_t verify_cycle = chain_ready + 1;
+  ++verifications;
+
+  const auto& mac_cipher = is_mux ? *mux_mac_ : *exec_mac_;
+  const std::uint64_t computed_tag = crypto::cbc_mac64(mac_cipher, inst_words);
+  const bool mac_ok = computed_tag == stored_tag;
+
+  // ---- decode, check placement rules, stage deliveries ----
+  if (!mac_ok) {
+    // The run-time MAC differs from the stored one: tampered instructions
+    // or tampered control flow. Reset fires when the comparison completes;
+    // nothing from this block may commit (the store gate would have held
+    // its stores back in the real pipeline).
+    reset_ = ResetEvent{ResetCause::kMacMismatch, verify_cycle, base_word * 4};
+    return;
+  }
+  const std::uint64_t gate = verify_cycle > config_.store_gate_headstart
+                                 ? verify_cycle - config_.store_gate_headstart
+                                 : 0;
+  for (std::uint32_t w = first_inst; w < b; ++w) {
+    const auto decoded = isa::decode(plain[w]);
+    const std::uint32_t pc = (base_word + w) * 4;
+    if (!decoded) {
+      reset_ = ResetEvent{ResetCause::kIllegalInstruction, decrypt_done[w] + 1, pc};
+      break;
+    }
+    const bool last = (w == b - 1);
+    if (isa::is_control(decoded->op) && !last) {
+      reset_ = ResetEvent{ResetCause::kIllegalExit, decrypt_done[w] + 1, pc};
+      break;
+    }
+    if (isa::is_store(decoded->op) && w < config_.policy.store_min_word) {
+      reset_ = ResetEvent{ResetCause::kRestrictedStore, decrypt_done[w] + 1, pc};
+      break;
+    }
+    FetchedInst fi;
+    fi.inst = *decoded;
+    fi.pc = pc;
+    fi.ready = decrypt_done[w] + 1;
+    fi.store_gate = gate;
+    staged_.push_back(fi);
+  }
+  if (reset_) return;
+
+  // ---- decide how fetch continues past this block ----
+  // Fall-through speculation is always sound: the sequential successor is
+  // encrypted with prevPC = this block's exit word whether the exit is a
+  // plain instruction or a not-taken conditional branch. Direct jumps are
+  // followed at decode time (the target and the prevPC are both known).
+  // Only indirect exits (jalr/ret) and halt make fetch wait.
+  const isa::Opcode exit_op = staged_.back().inst.op;
+  const std::uint64_t exit_decoded = decrypt_done[b - 1] + 1;
+  if (exit_op == isa::Opcode::kJal) {
+    staged_.back().fetch_redirected = true;
+    const std::uint32_t target =
+        (base_word + b - 1) + static_cast<std::uint32_t>(staged_.back().inst.imm);
+    next_block_word_ = target;
+    cont_prev_word_ = base_word + b - 1;
+    cont_cycle_ = std::max(cursor, exit_decoded);
+  } else if (exit_op == isa::Opcode::kJalr || exit_op == isa::Opcode::kHalt) {
+    waiting_ = true;
+  } else {
+    next_block_word_ = base_word + b;
+    cont_prev_word_ = base_word + b - 1;
+    cont_cycle_ = cursor;
+  }
+}
+
+}  // namespace sofia::sim

@@ -1,0 +1,140 @@
+// Front ends. Two implementations of the same interface:
+//
+//  * VanillaFetch — the unmodified-LEON3 analogue: stream words through the
+//    I-cache, decode, deliver; stall at control instructions until the
+//    execute side resolves them (LEON3 has no branch prediction).
+//
+//  * SofiaFetch — the paper's architecture (Fig. 1): the block state
+//    machine. A transfer's target word offset selects the block type and
+//    multiplexor path (§II-E); every fetched word is decrypted with its
+//    control-flow-dependent counter; the run-time CBC-MAC over the
+//    decrypted instructions is compared against the stored MAC words; and
+//    violations pull the reset line. Stores carry a gate cycle so they
+//    cannot pass the MA stage before their block verifies.
+//
+// Both deliver FetchedInst records tagged with the cycle the instruction
+// leaves the IF stage, so the execute side consumes them with true timing.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+
+#include "assembler/image.hpp"
+#include "crypto/block_cipher.hpp"
+#include "isa/isa.hpp"
+#include "sim/cipher_engine.hpp"
+#include "sim/config.hpp"
+#include "sim/icache.hpp"
+#include "sim/memory.hpp"
+
+namespace sofia::sim {
+
+struct FetchedInst {
+  isa::Instruction inst;
+  std::uint32_t pc = 0;          ///< byte address of the instruction word
+  std::uint64_t ready = 0;       ///< first cycle the execute side may use it
+  std::uint64_t store_gate = 0;  ///< earliest cycle a store may commit
+  /// Fetch already followed this (direct) jump; the execute side must not
+  /// redirect again.
+  bool fetch_redirected = false;
+};
+
+class FetchUnit {
+ public:
+  virtual ~FetchUnit() = default;
+
+  /// Advance one cycle; deliver at most one instruction. `queue_full`
+  /// applies backpressure.
+  virtual std::optional<FetchedInst> step(std::uint64_t cycle, bool queue_full) = 0;
+
+  /// A taken transfer executed at byte address `from_pc` redirects fetch to
+  /// `target`, effective at `cycle`. Used for taken conditional branches
+  /// (squashing the fall-through speculation) and for indirect jumps (which
+  /// fetch cannot follow on its own).
+  virtual void redirect(std::uint32_t target, std::uint32_t from_pc,
+                        std::uint64_t cycle) = 0;
+
+  /// Pending SOFIA reset, if any (valid once its cycle is reached).
+  virtual std::optional<ResetEvent> reset() const = 0;
+
+  std::uint64_t words_delivered = 0;
+  std::uint64_t mac_words_seen = 0;
+  std::uint64_t ctr_ops = 0;
+  std::uint64_t cbc_ops = 0;
+  std::uint64_t blocks = 0;
+  std::uint64_t verifications = 0;
+
+ protected:
+  /// Apply the configured transient fault to a raw fetched word.
+  std::uint32_t apply_fault(const FaultInjection& fault, std::uint32_t word) {
+    const std::uint64_t index = fetch_count_++;
+    if (fault.enabled && index == fault.fetch_index)
+      return word ^ (1u << (fault.bit & 31));
+    return word;
+  }
+
+ private:
+  std::uint64_t fetch_count_ = 0;
+};
+
+class VanillaFetch final : public FetchUnit {
+ public:
+  VanillaFetch(const Memory& mem, ICache& icache, const SimConfig& config,
+               std::uint32_t start_pc);
+
+  std::optional<FetchedInst> step(std::uint64_t cycle, bool queue_full) override;
+  void redirect(std::uint32_t target, std::uint32_t from_pc,
+                std::uint64_t cycle) override;
+  std::optional<ResetEvent> reset() const override { return reset_; }
+
+ private:
+  const Memory& mem_;
+  ICache& icache_;
+  const SimConfig& config_;
+  std::uint32_t pc_;
+  std::uint64_t ready_at_ = 0;  ///< fetch in progress completes at this cycle
+  bool fetching_ = false;
+  bool waiting_ = false;  ///< stopped at an indirect jump / halt
+  std::optional<ResetEvent> reset_;
+};
+
+class SofiaFetch final : public FetchUnit {
+ public:
+  SofiaFetch(const Memory& mem, ICache& icache, CipherEngine& engine,
+             const SimConfig& config, const assembler::LoadImage& image);
+
+  std::optional<FetchedInst> step(std::uint64_t cycle, bool queue_full) override;
+  void redirect(std::uint32_t target, std::uint32_t from_pc,
+                std::uint64_t cycle) override;
+  std::optional<ResetEvent> reset() const override { return reset_; }
+
+ private:
+  /// Process one whole block starting at `entry_cycle`: fetch, decrypt, MAC,
+  /// queue deliveries; decide how fetch continues (sequential speculation,
+  /// decode-time direct jump, or wait for the execute side). Sets reset_ on
+  /// violations.
+  void process_block(std::uint32_t target_word, std::uint32_t prev_word,
+                     std::uint64_t entry_cycle);
+
+  const Memory& mem_;
+  ICache& icache_;
+  CipherEngine& engine_;
+  const SimConfig& config_;
+  std::uint32_t text_base_word_;
+  std::uint16_t omega_;
+  bool per_pair_;
+  std::unique_ptr<crypto::BlockCipher64> enc_;
+  std::unique_ptr<crypto::BlockCipher64> exec_mac_;
+  std::unique_ptr<crypto::BlockCipher64> mux_mac_;
+
+  std::deque<FetchedInst> staged_;  ///< decoded, time-stamped deliveries
+  bool waiting_ = false;            ///< stopped at an indirect exit / halt
+  std::uint32_t next_block_word_ = 0;  ///< continuation target (word addr)
+  std::uint32_t cont_prev_word_ = 0;   ///< prev word for the continuation
+  std::uint64_t cont_cycle_ = 0;       ///< earliest continuation cycle
+  std::optional<ResetEvent> reset_;
+};
+
+}  // namespace sofia::sim

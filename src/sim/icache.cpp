@@ -1,0 +1,32 @@
+#include "sim/icache.hpp"
+
+#include <bit>
+
+#include "support/error.hpp"
+
+namespace sofia::sim {
+
+ICache::ICache(const CacheConfig& config) : miss_penalty_(config.miss_penalty) {
+  if (config.line_bytes < 4 || !std::has_single_bit(config.line_bytes) ||
+      !std::has_single_bit(config.size_bytes) ||
+      config.size_bytes < config.line_bytes)
+    throw Error("icache: size and line must be powers of two, size >= line");
+  line_bits_ = static_cast<std::uint32_t>(std::countr_zero(config.line_bytes));
+  num_lines_ = config.size_bytes / config.line_bytes;
+  tags_.assign(num_lines_, 0);
+}
+
+std::uint32_t ICache::access(std::uint32_t addr) {
+  const std::uint32_t line_addr = addr >> line_bits_;
+  const std::uint32_t index = line_addr & (num_lines_ - 1);
+  const std::uint64_t tag = static_cast<std::uint64_t>(line_addr) + 1;
+  if (tags_[index] == tag) {
+    ++hits_;
+    return 1;
+  }
+  ++misses_;
+  tags_[index] = tag;
+  return miss_penalty_;
+}
+
+}  // namespace sofia::sim

@@ -1,0 +1,376 @@
+#include "sim/machine.hpp"
+
+#include <deque>
+#include <memory>
+
+#include "isa/disasm.hpp"
+#include "sim/cipher_engine.hpp"
+#include "support/hex.hpp"
+#include "sim/fetch.hpp"
+#include "sim/icache.hpp"
+#include "sim/memory.hpp"
+#include "support/bits.hpp"
+
+namespace sofia::sim {
+
+std::string_view to_string(ResetCause cause) {
+  switch (cause) {
+    case ResetCause::kNone: return "none";
+    case ResetCause::kMacMismatch: return "mac-mismatch";
+    case ResetCause::kInvalidEntry: return "invalid-entry";
+    case ResetCause::kRestrictedStore: return "restricted-store";
+    case ResetCause::kIllegalExit: return "illegal-exit";
+    case ResetCause::kIllegalInstruction: return "illegal-instruction";
+  }
+  return "?";
+}
+
+std::string format_trace(const std::vector<TraceEntry>& trace) {
+  std::string out;
+  for (const TraceEntry& e : trace) {
+    out += std::to_string(e.cycle);
+    out += "\t";
+    out += hex32_0x(e.pc);
+    out += "\t";
+    out += isa::disassemble_word(e.word, e.pc);
+    out += "\n";
+  }
+  return out;
+}
+
+std::string_view to_string(RunResult::Status status) {
+  switch (status) {
+    case RunResult::Status::kHalted: return "halted";
+    case RunResult::Status::kExited: return "exited";
+    case RunResult::Status::kReset: return "reset";
+    case RunResult::Status::kFault: return "fault";
+    case RunResult::Status::kMaxCycles: return "max-cycles";
+  }
+  return "?";
+}
+
+namespace {
+
+using isa::Instruction;
+using isa::Opcode;
+
+class Machine {
+ public:
+  Machine(const assembler::LoadImage& image, const SimConfig& config)
+      : config_(config), icache_(config.icache), engine_(config.cipher) {
+    mem_.load_image(image);
+    regs_[isa::kRegSp] = image.stack_top;
+    if (image.sofia)
+      fetch_ = std::make_unique<SofiaFetch>(mem_, icache_, engine_, config_, image);
+    else
+      fetch_ = std::make_unique<VanillaFetch>(mem_, icache_, config_, image.entry);
+  }
+
+  RunResult run() {
+    while (!done_) {
+      if (const auto reset = fetch_->reset(); reset && cycle_ >= reset->cycle) {
+        finish(RunResult::Status::kReset, reset->cycle);
+        result_.reset = *reset;
+        break;
+      }
+      exec_step();
+      if (done_) break;
+      if (auto fi = fetch_->step(cycle_, queue_.size() >= config_.fetch_queue))
+        queue_.push_back(*fi);
+      ++cycle_;
+      if (cycle_ >= config_.max_cycles) {
+        finish(RunResult::Status::kMaxCycles, cycle_);
+        break;
+      }
+    }
+    collect_stats();
+    return std::move(result_);
+  }
+
+ private:
+  void finish(RunResult::Status status, std::uint64_t at_cycle) {
+    result_.status = status;
+    result_.stats.cycles = at_cycle;
+    done_ = true;
+  }
+
+  void fault(const std::string& message, std::uint64_t at_cycle) {
+    result_.fault = message;
+    finish(RunResult::Status::kFault, at_cycle);
+  }
+
+  std::uint64_t reg_ready(unsigned r) const {
+    return r == isa::kRegZero ? 0 : reg_ready_[r];
+  }
+
+  void write_reg(unsigned r, std::uint32_t value, std::uint64_t ready_cycle) {
+    if (r == isa::kRegZero) return;
+    regs_[r] = value;
+    reg_ready_[r] = ready_cycle;
+  }
+
+  void exec_step() {
+    if (cycle_ < busy_until_) {
+      ++result_.stats.exec_stall_cycles;
+      return;
+    }
+    if (queue_.empty() || queue_.front().ready > cycle_) {
+      ++result_.stats.queue_empty_cycles;
+      return;
+    }
+    const FetchedInst fi = queue_.front();
+    queue_.pop_front();
+    execute(fi);
+  }
+
+  void execute(const FetchedInst& fi) {
+    const Instruction& in = fi.inst;
+    auto& st = result_.stats;
+    if (config_.collect_trace && result_.trace.size() < config_.max_trace)
+      result_.trace.push_back({cycle_, fi.pc, isa::encode(in)});
+    // Operand availability (forwarding modeled by reg_ready timestamps).
+    std::uint64_t start = cycle_;
+    switch (in.op) {
+      case Opcode::kNop:
+      case Opcode::kHalt:
+      case Opcode::kLui:
+        break;
+      case Opcode::kJal:
+        break;
+      default:
+        start = std::max(start, reg_ready(in.ra));
+        if ((in.op >= Opcode::kAdd && in.op <= Opcode::kMul) ||
+            isa::is_cond_branch(in.op))
+          start = std::max(start, reg_ready(in.rb));
+        if (isa::is_store(in.op)) start = std::max(start, reg_ready(in.rd));
+        break;
+    }
+    if (isa::is_store(in.op) && fi.store_gate > start) {
+      st.store_gate_stalls += fi.store_gate - start;
+      start = fi.store_gate;
+    }
+    st.exec_stall_cycles += start - cycle_;
+
+    ++st.insts;
+    if (in.op == Opcode::kNop) ++st.nops;
+    std::uint64_t duration = 1;
+
+    const std::uint32_t a = regs_[in.ra];
+    const std::uint32_t bval = regs_[in.rb];
+    const auto sa = static_cast<std::int32_t>(a);
+    const auto sb = static_cast<std::int32_t>(bval);
+    const auto imm = in.imm;
+    const std::uint32_t uimm = static_cast<std::uint32_t>(imm);
+
+    switch (in.op) {
+      case Opcode::kNop:
+        break;
+      case Opcode::kHalt:
+        finish(RunResult::Status::kHalted, start + 1);
+        return;
+      case Opcode::kAdd: write_reg(in.rd, a + bval, start + 1); break;
+      case Opcode::kSub: write_reg(in.rd, a - bval, start + 1); break;
+      case Opcode::kAnd: write_reg(in.rd, a & bval, start + 1); break;
+      case Opcode::kOr: write_reg(in.rd, a | bval, start + 1); break;
+      case Opcode::kXor: write_reg(in.rd, a ^ bval, start + 1); break;
+      case Opcode::kSll: write_reg(in.rd, a << (bval & 31), start + 1); break;
+      case Opcode::kSrl: write_reg(in.rd, a >> (bval & 31), start + 1); break;
+      case Opcode::kSra:
+        write_reg(in.rd, static_cast<std::uint32_t>(sa >> (bval & 31)), start + 1);
+        break;
+      case Opcode::kSlt: write_reg(in.rd, sa < sb ? 1 : 0, start + 1); break;
+      case Opcode::kSltu: write_reg(in.rd, a < bval ? 1 : 0, start + 1); break;
+      case Opcode::kMul:
+        write_reg(in.rd, a * bval, start + config_.mul_latency);
+        duration = config_.mul_latency;
+        break;
+      case Opcode::kAddi:
+        write_reg(in.rd, a + uimm, start + 1);
+        break;
+      case Opcode::kAndi: write_reg(in.rd, a & uimm, start + 1); break;
+      case Opcode::kOri: write_reg(in.rd, a | uimm, start + 1); break;
+      case Opcode::kXori: write_reg(in.rd, a ^ uimm, start + 1); break;
+      case Opcode::kSlli: write_reg(in.rd, a << (uimm & 31), start + 1); break;
+      case Opcode::kSrli: write_reg(in.rd, a >> (uimm & 31), start + 1); break;
+      case Opcode::kSrai:
+        write_reg(in.rd, static_cast<std::uint32_t>(sa >> (uimm & 31)), start + 1);
+        break;
+      case Opcode::kSlti: write_reg(in.rd, sa < imm ? 1 : 0, start + 1); break;
+      case Opcode::kSltiu: write_reg(in.rd, a < uimm ? 1 : 0, start + 1); break;
+      case Opcode::kLui:
+        write_reg(in.rd, uimm << 14, start + 1);
+        break;
+      case Opcode::kLw:
+      case Opcode::kLh:
+      case Opcode::kLhu:
+      case Opcode::kLb:
+      case Opcode::kLbu:
+        if (!do_load(in, a + uimm, start)) return;
+        ++st.loads;
+        break;
+      case Opcode::kSw:
+      case Opcode::kSh:
+      case Opcode::kSb:
+        if (!do_store(in, a + uimm, regs_[in.rd], start)) return;
+        ++st.stores;
+        break;
+      case Opcode::kBeq:
+      case Opcode::kBne:
+      case Opcode::kBlt:
+      case Opcode::kBge:
+      case Opcode::kBltu:
+      case Opcode::kBgeu: {
+        ++st.branches;
+        const bool taken = eval_branch(in.op, a, bval);
+        if (taken) {
+          // Squash the fall-through speculation.
+          ++st.taken;
+          redirect(fi.pc + static_cast<std::uint32_t>(imm * 4), fi.pc, start);
+        }
+        break;
+      }
+      case Opcode::kJal: {
+        ++st.branches;
+        ++st.taken;
+        write_reg(in.rd, fi.pc + 4, start + 1);
+        if (!fi.fetch_redirected)
+          redirect(fi.pc + static_cast<std::uint32_t>(imm * 4), fi.pc, start);
+        break;
+      }
+      case Opcode::kJalr: {
+        ++st.branches;
+        ++st.taken;
+        const std::uint32_t target = (a + uimm) & ~3u;
+        write_reg(in.rd, fi.pc + 4, start + 1);
+        redirect(target, fi.pc, start);
+        break;
+      }
+    }
+    busy_until_ = start + duration;
+  }
+
+  bool eval_branch(Opcode op, std::uint32_t a, std::uint32_t b) const {
+    const auto sa = static_cast<std::int32_t>(a);
+    const auto sb = static_cast<std::int32_t>(b);
+    switch (op) {
+      case Opcode::kBeq: return a == b;
+      case Opcode::kBne: return a != b;
+      case Opcode::kBlt: return sa < sb;
+      case Opcode::kBge: return sa >= sb;
+      case Opcode::kBltu: return a < b;
+      case Opcode::kBgeu: return a >= b;
+      default: return false;
+    }
+  }
+
+  void redirect(std::uint32_t target, std::uint32_t from_pc, std::uint64_t start) {
+    queue_.clear();
+    fetch_->redirect(target, from_pc, start + config_.redirect_bubble);
+  }
+
+  bool do_load(const Instruction& in, std::uint32_t addr, std::uint64_t start) {
+    if (addr >= kMmioConsole) {
+      fault("load from MMIO region", start);
+      return false;
+    }
+    std::uint32_t value = 0;
+    switch (in.op) {
+      case Opcode::kLw:
+        if (addr % 4 != 0) { fault("misaligned lw", start); return false; }
+        value = mem_.load32(addr);
+        break;
+      case Opcode::kLh:
+        if (addr % 2 != 0) { fault("misaligned lh", start); return false; }
+        value = static_cast<std::uint32_t>(sign_extend(mem_.load16(addr), 16));
+        break;
+      case Opcode::kLhu:
+        if (addr % 2 != 0) { fault("misaligned lhu", start); return false; }
+        value = mem_.load16(addr);
+        break;
+      case Opcode::kLb:
+        value = static_cast<std::uint32_t>(sign_extend(mem_.load8(addr), 8));
+        break;
+      case Opcode::kLbu:
+        value = mem_.load8(addr);
+        break;
+      default:
+        return false;
+    }
+    write_reg(in.rd, value, start + config_.load_latency);
+    return true;
+  }
+
+  bool do_store(const Instruction& in, std::uint32_t addr, std::uint32_t value,
+                std::uint64_t start) {
+    if (addr >= kMmioConsole) return do_mmio(addr, value, start);
+    switch (in.op) {
+      case Opcode::kSw:
+        if (addr % 4 != 0) { fault("misaligned sw", start); return false; }
+        mem_.store32(addr, value);
+        break;
+      case Opcode::kSh:
+        if (addr % 2 != 0) { fault("misaligned sh", start); return false; }
+        mem_.store16(addr, static_cast<std::uint16_t>(value));
+        break;
+      case Opcode::kSb:
+        mem_.store8(addr, static_cast<std::uint8_t>(value));
+        break;
+      default:
+        return false;
+    }
+    return true;
+  }
+
+  bool do_mmio(std::uint32_t addr, std::uint32_t value, std::uint64_t start) {
+    switch (addr) {
+      case kMmioConsole:
+        result_.output.push_back(static_cast<char>(value & 0xFF));
+        return true;
+      case kMmioExit:
+        result_.exit_code = static_cast<int>(value);
+        finish(RunResult::Status::kExited, start + 1);
+        return false;
+      case kMmioPutInt:
+        result_.output += std::to_string(static_cast<std::int32_t>(value));
+        result_.output.push_back('\n');
+        return true;
+      default:
+        fault("store to unmapped MMIO address", start);
+        return false;
+    }
+  }
+
+  void collect_stats() {
+    auto& st = result_.stats;
+    st.icache_hits = icache_.hits();
+    st.icache_misses = icache_.misses();
+    st.fetch_words = fetch_->words_delivered;
+    st.mac_words = fetch_->mac_words_seen;
+    st.ctr_ops = fetch_->ctr_ops;
+    st.cbc_ops = fetch_->cbc_ops;
+    st.blocks_fetched = fetch_->blocks;
+    st.mac_verifications = fetch_->verifications;
+  }
+
+  const SimConfig& config_;
+  Memory mem_;
+  ICache icache_;
+  CipherEngine engine_;
+  std::unique_ptr<FetchUnit> fetch_;
+  std::deque<FetchedInst> queue_;
+  std::uint32_t regs_[isa::kNumRegs] = {};
+  std::uint64_t reg_ready_[isa::kNumRegs] = {};
+  std::uint64_t cycle_ = 0;
+  std::uint64_t busy_until_ = 0;
+  bool done_ = false;
+  RunResult result_;
+};
+
+}  // namespace
+
+RunResult run_image(const assembler::LoadImage& image, const SimConfig& config) {
+  Machine machine(image, config);
+  return machine.run();
+}
+
+}  // namespace sofia::sim

@@ -1,0 +1,17 @@
+// Top-level simulator: wires memory, I-cache, cipher engine, the selected
+// front end (vanilla or SOFIA, from the image) and the execute side
+// together, and runs an image to completion.
+#pragma once
+
+#include "assembler/image.hpp"
+#include "sim/config.hpp"
+
+namespace sofia::sim {
+
+/// Run a loaded image under the given configuration. For SOFIA images the
+/// configured device keys and block policy must match the ones the binary
+/// was transformed with — a mismatch behaves exactly like tampering (the
+/// device resets), which is itself the paper's security property.
+RunResult run_image(const assembler::LoadImage& image, const SimConfig& config);
+
+}  // namespace sofia::sim

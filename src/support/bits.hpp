@@ -1,0 +1,71 @@
+// Bit-manipulation helpers shared across the SOFIA libraries.
+#pragma once
+
+#include <cstdint>
+
+namespace sofia {
+
+/// Rotate a 16-bit word left by n (0 <= n < 16).
+constexpr std::uint16_t rotl16(std::uint16_t x, unsigned n) {
+  n &= 15u;
+  if (n == 0) return x;
+  return static_cast<std::uint16_t>((x << n) | (x >> (16u - n)));
+}
+
+/// Rotate a 16-bit word right by n (0 <= n < 16).
+constexpr std::uint16_t rotr16(std::uint16_t x, unsigned n) {
+  return rotl16(x, 16u - (n & 15u));
+}
+
+/// Rotate a 32-bit word left by n.
+constexpr std::uint32_t rotl32(std::uint32_t x, unsigned n) {
+  n &= 31u;
+  if (n == 0) return x;
+  return (x << n) | (x >> (32u - n));
+}
+
+/// Rotate a 32-bit word right by n.
+constexpr std::uint32_t rotr32(std::uint32_t x, unsigned n) {
+  return rotl32(x, 32u - (n & 31u));
+}
+
+/// Rotate a 64-bit word left by n.
+constexpr std::uint64_t rotl64(std::uint64_t x, unsigned n) {
+  n &= 63u;
+  if (n == 0) return x;
+  return (x << n) | (x >> (64u - n));
+}
+
+/// Extract bits [lo, lo+width) of x (width <= 32).
+constexpr std::uint32_t bits(std::uint32_t x, unsigned lo, unsigned width) {
+  return (x >> lo) & ((width >= 32u) ? 0xFFFFFFFFu : ((1u << width) - 1u));
+}
+
+/// Insert `value` into bits [lo, lo+width) of x, returning the new word.
+constexpr std::uint32_t insert_bits(std::uint32_t x, unsigned lo, unsigned width,
+                                    std::uint32_t value) {
+  const std::uint32_t mask =
+      ((width >= 32u) ? 0xFFFFFFFFu : ((1u << width) - 1u)) << lo;
+  return (x & ~mask) | ((value << lo) & mask);
+}
+
+/// Sign-extend the low `width` bits of x to a signed 32-bit integer.
+constexpr std::int32_t sign_extend(std::uint32_t x, unsigned width) {
+  const std::uint32_t m = 1u << (width - 1);
+  x &= (width >= 32u) ? 0xFFFFFFFFu : ((1u << width) - 1u);
+  return static_cast<std::int32_t>((x ^ m) - m);
+}
+
+/// True when `value` fits in a `width`-bit two's-complement field.
+constexpr bool fits_signed(std::int64_t value, unsigned width) {
+  const std::int64_t lo = -(std::int64_t{1} << (width - 1));
+  const std::int64_t hi = (std::int64_t{1} << (width - 1)) - 1;
+  return value >= lo && value <= hi;
+}
+
+/// True when `value` fits in a `width`-bit unsigned field.
+constexpr bool fits_unsigned(std::uint64_t value, unsigned width) {
+  return width >= 64u || value < (std::uint64_t{1} << width);
+}
+
+}  // namespace sofia

@@ -1,0 +1,35 @@
+// Common exception hierarchy. Toolchain-stage failures (assembler,
+// transformer) are programming/input errors and throw; run-time *security*
+// violations in the simulator are modelled as data (sim::ResetEvent), not
+// exceptions, because a reset is an architecturally defined outcome.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace sofia {
+
+/// Base class for all SOFIA toolchain errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Assembly-source errors; carries a 1-based source line number.
+class AsmError : public Error {
+ public:
+  AsmError(int line, const std::string& what)
+      : Error("asm:" + std::to_string(line) + ": " + what), line_(line) {}
+  int line() const { return line_; }
+
+ private:
+  int line_;
+};
+
+/// Errors raised while transforming a program into SOFIA block format.
+class TransformError : public Error {
+ public:
+  using Error::Error;
+};
+
+}  // namespace sofia

@@ -1,0 +1,36 @@
+#include "support/hex.hpp"
+
+#include <cstdio>
+
+namespace sofia {
+
+std::string hex32(std::uint32_t v) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%08x", v);
+  return buf;
+}
+
+std::string hex64(std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+std::string hex32_0x(std::uint32_t v) { return "0x" + hex32(v); }
+
+std::string hexdump_words(std::span<const std::uint32_t> words,
+                          std::uint32_t base_addr) {
+  std::string out;
+  for (std::size_t i = 0; i < words.size(); i += 4) {
+    out += hex32(base_addr + static_cast<std::uint32_t>(i * 4));
+    out += ":";
+    for (std::size_t j = i; j < i + 4 && j < words.size(); ++j) {
+      out += " ";
+      out += hex32(words[j]);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace sofia

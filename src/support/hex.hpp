@@ -1,0 +1,23 @@
+// Hex formatting helpers used by the disassembler, image dumpers and tests.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace sofia {
+
+/// "deadbeef" (8 digits, lower case).
+std::string hex32(std::uint32_t v);
+
+/// "00000000deadbeef" (16 digits, lower case).
+std::string hex64(std::uint64_t v);
+
+/// "0xdeadbeef".
+std::string hex32_0x(std::uint32_t v);
+
+/// Classic offset + words hex dump of 32-bit words, 4 words per line.
+std::string hexdump_words(std::span<const std::uint32_t> words,
+                          std::uint32_t base_addr = 0);
+
+}  // namespace sofia

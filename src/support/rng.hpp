@@ -1,0 +1,39 @@
+// Deterministic pseudo-random generator for tests, workload inputs and
+// Monte-Carlo security experiments. xoshiro256** seeded via splitmix64:
+// fast, reproducible across platforms, and independent of libstdc++'s
+// unspecified distribution implementations.
+#pragma once
+
+#include <cstdint>
+
+namespace sofia {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) { reseed(seed); }
+
+  void reseed(std::uint64_t seed);
+
+  /// Next 64 uniformly random bits.
+  std::uint64_t next_u64();
+
+  /// Next 32 uniformly random bits.
+  std::uint32_t next_u32() { return static_cast<std::uint32_t>(next_u64() >> 32); }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t next_range(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Bernoulli draw with probability p.
+  bool next_bool(double p = 0.5) { return next_double() < p; }
+
+ private:
+  std::uint64_t state_[4];
+};
+
+}  // namespace sofia

@@ -1,0 +1,403 @@
+// IMA-ADPCM encoder/decoder — the MediaBench-I benchmark the paper
+// evaluates (§IV-B). The assembly follows MediaBench's adpcm_coder /
+// adpcm_decoder control flow (sign split, 3-step quantization, predictor
+// clamp, step-table walk, high-nibble-first packing); the golden C++ model
+// mirrors it bit-exactly.
+#include "workloads/workloads.hpp"
+
+#include "support/rng.hpp"
+#include "workloads/data_emit.hpp"
+
+namespace sofia::workloads {
+namespace {
+
+constexpr int kIndexTable[16] = {-1, -1, -1, -1, 2, 4, 6, 8,
+                                 -1, -1, -1, -1, 2, 4, 6, 8};
+
+constexpr int kStepTable[89] = {
+    7,     8,     9,     10,    11,    12,    13,    14,    16,    17,
+    19,    21,    23,    25,    28,    31,    34,    37,    41,    45,
+    50,    55,    60,    66,    73,    80,    88,    97,    107,   118,
+    130,   143,   157,   173,   190,   209,   230,   253,   279,   307,
+    337,   371,   408,   449,   494,   544,   598,   658,   724,   796,
+    876,   963,   1060,  1166,  1282,  1411,  1552,  1707,  1878,  2066,
+    2272,  2499,  2749,  3024,  3327,  3660,  4026,  4428,  4871,  5358,
+    5894,  6484,  7132,  7845,  8630,  9493,  10442, 11487, 12635, 13899,
+    15289, 16818, 18500, 20350, 22385, 24623, 27086, 29794, 32767};
+
+std::string step_table_words() {
+  std::vector<int> v(std::begin(kStepTable), std::end(kStepTable));
+  return emit_values(".word", v);
+}
+
+std::string index_table_words() {
+  std::vector<int> v(std::begin(kIndexTable), std::end(kIndexTable));
+  return emit_values(".word", v);
+}
+
+std::int32_t sum_bytes(const std::vector<std::uint8_t>& bytes) {
+  std::uint32_t s = 0;
+  for (const auto b : bytes) s += b;
+  return static_cast<std::int32_t>(s);
+}
+
+std::int32_t sum_samples(const std::vector<std::int16_t>& samples) {
+  std::uint32_t s = 0;
+  for (const auto v : samples) s += static_cast<std::uint32_t>(static_cast<std::int32_t>(v));
+  return static_cast<std::int32_t>(s);
+}
+
+// The clamp / index / table / nibble logic shared verbatim by both
+// assembly listings.
+constexpr char kSharedTables[] = R"(.data
+idxtab:
+)";
+
+}  // namespace
+
+std::vector<std::int16_t> make_waveform(std::uint64_t seed, std::uint32_t n) {
+  Rng rng(seed);
+  std::vector<std::int16_t> v(n);
+  std::int32_t tri = 0;
+  std::int32_t dir = 13 * 257;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    tri += dir;
+    if (tri > 14000 || tri < -14000) dir = -dir;
+    const std::int32_t noise = static_cast<std::int32_t>(rng.next_u32() & 0x3FF) - 512;
+    std::int32_t s = tri + noise;
+    if (s > 32767) s = 32767;
+    if (s < -32768) s = -32768;
+    v[i] = static_cast<std::int16_t>(s);
+  }
+  return v;
+}
+
+std::vector<std::uint8_t> adpcm_encode(const std::vector<std::int16_t>& in,
+                                       AdpcmState& state) {
+  int valpred = state.valprev;
+  int index = state.index;
+  int step = kStepTable[index];
+  std::vector<std::uint8_t> out;
+  out.reserve(in.size() / 2 + 1);
+  int outputbuffer = 0;
+  bool bufferstep = true;
+  for (const std::int16_t sample : in) {
+    int diff = sample - valpred;
+    const int sign = diff < 0 ? 8 : 0;
+    if (sign) diff = -diff;
+    int delta = 0;
+    int vpdiff = step >> 3;
+    if (diff >= step) {
+      delta = 4;
+      diff -= step;
+      vpdiff += step;
+    }
+    int half = step >> 1;
+    if (diff >= half) {
+      delta |= 2;
+      diff -= half;
+      vpdiff += half;
+    }
+    half >>= 1;
+    if (diff >= half) {
+      delta |= 1;
+      vpdiff += half;
+    }
+    if (sign)
+      valpred -= vpdiff;
+    else
+      valpred += vpdiff;
+    if (valpred > 32767) valpred = 32767;
+    if (valpred < -32768) valpred = -32768;
+    delta |= sign;
+    index += kIndexTable[delta];
+    if (index < 0) index = 0;
+    if (index > 88) index = 88;
+    step = kStepTable[index];
+    if (bufferstep) {
+      outputbuffer = (delta << 4) & 0xF0;
+    } else {
+      out.push_back(static_cast<std::uint8_t>((delta & 0x0F) | outputbuffer));
+    }
+    bufferstep = !bufferstep;
+  }
+  if (!bufferstep) out.push_back(static_cast<std::uint8_t>(outputbuffer));
+  state.valprev = valpred;
+  state.index = index;
+  return out;
+}
+
+std::vector<std::int16_t> adpcm_decode(const std::vector<std::uint8_t>& in,
+                                       std::uint32_t sample_count,
+                                       AdpcmState& state) {
+  int valpred = state.valprev;
+  int index = state.index;
+  int step = kStepTable[index];
+  std::vector<std::int16_t> out;
+  out.reserve(sample_count);
+  std::size_t pos = 0;
+  int inputbuffer = 0;
+  bool bufferstep = false;
+  for (std::uint32_t i = 0; i < sample_count; ++i) {
+    int delta;
+    if (!bufferstep) {
+      inputbuffer = in[pos++];
+      delta = (inputbuffer >> 4) & 0x0F;
+    } else {
+      delta = inputbuffer & 0x0F;
+    }
+    bufferstep = !bufferstep;
+    index += kIndexTable[delta];
+    if (index < 0) index = 0;
+    if (index > 88) index = 88;
+    const int sign = delta & 8;
+    const int mag = delta & 7;
+    int vpdiff = step >> 3;
+    if (mag & 4) vpdiff += step;
+    if (mag & 2) vpdiff += step >> 1;
+    if (mag & 1) vpdiff += step >> 2;
+    if (sign)
+      valpred -= vpdiff;
+    else
+      valpred += vpdiff;
+    if (valpred > 32767) valpred = 32767;
+    if (valpred < -32768) valpred = -32768;
+    step = kStepTable[index];
+    out.push_back(static_cast<std::int16_t>(valpred));
+  }
+  state.valprev = valpred;
+  state.index = index;
+  return out;
+}
+
+WorkloadSpec adpcm_encode_spec() {
+  WorkloadSpec spec;
+  spec.name = "adpcm_encode";
+  spec.description = "IMA ADPCM encoder (MediaBench-I, paper's benchmark)";
+  spec.default_size = 2048;
+  spec.source = [](std::uint64_t seed, std::uint32_t size) {
+    const auto samples = make_waveform(seed, size);
+    std::vector<int> sample_ints(samples.begin(), samples.end());
+    std::string src = R"(; IMA ADPCM encoder
+main:
+  la r1, input
+  la r2, output
+  li r3, )" + std::to_string(size) + R"(
+  li r4, 0            ; valpred
+  li r5, 0            ; index
+  la r10, steptab
+  lw r6, 0(r10)       ; step
+  li r12, -1          ; nibble buffer empty
+loop:
+  lh r7, 0(r1)
+  addi r1, r1, 2
+  sub r7, r7, r4      ; diff
+  li r8, 0
+  bgez r7, pos
+  li r8, 8
+  neg r7, r7
+pos:
+  srai r9, r6, 3      ; vpdiff = step >> 3
+  li r11, 0           ; delta
+  blt r7, r6, q2
+  ori r11, r11, 4
+  sub r7, r7, r6
+  add r9, r9, r6
+q2:
+  srai r6, r6, 1
+  blt r7, r6, q1
+  ori r11, r11, 2
+  sub r7, r7, r6
+  add r9, r9, r6
+q1:
+  srai r6, r6, 1
+  blt r7, r6, q0
+  ori r11, r11, 1
+  add r9, r9, r6
+q0:
+  beqz r8, addv
+  sub r4, r4, r9
+  j clamp
+addv:
+  add r4, r4, r9
+clamp:
+  li r10, 32767
+  ble r4, r10, c2
+  mv r4, r10
+c2:
+  li r10, -32768
+  bge r4, r10, c3
+  mv r4, r10
+c3:
+  or r11, r11, r8     ; delta |= sign
+  slli r7, r11, 2
+  la r10, idxtab
+  add r10, r10, r7
+  lw r7, 0(r10)
+  add r5, r5, r7      ; index += indexTable[delta]
+  bgez r5, i2
+  li r5, 0
+i2:
+  li r10, 88
+  ble r5, r10, i3
+  mv r5, r10
+i3:
+  slli r7, r5, 2
+  la r10, steptab
+  add r10, r10, r7
+  lw r6, 0(r10)       ; step = steptab[index]
+  bltz r12, stash
+  or r7, r12, r11     ; high nibble buffered, low nibble now
+  sb r7, 0(r2)
+  addi r2, r2, 1
+  li r12, -1
+  j next
+stash:
+  slli r12, r11, 4
+next:
+  addi r3, r3, -1
+  bnez r3, loop
+  bltz r12, sum
+  sb r12, 0(r2)       ; flush odd nibble
+  addi r2, r2, 1
+sum:
+  la r1, output
+  li r7, 0
+csloop:
+  bgeu r1, r2, csdone
+  lbu r11, 0(r1)
+  add r7, r7, r11
+  addi r1, r1, 1
+  j csloop
+csdone:
+  li r10, 0xFFFF0008
+  sw r7, 0(r10)       ; checksum of code bytes
+  sw r4, 0(r10)       ; final predictor
+  sw r5, 0(r10)       ; final index
+  halt
+)" + std::string(kSharedTables) +
+                      index_table_words() + "steptab:\n" + step_table_words() +
+                      "input:\n" + emit_values(".half", sample_ints) +
+                      "output: .space " + std::to_string(size / 2 + 4) + "\n";
+    return src;
+  };
+  spec.golden = [](std::uint64_t seed, std::uint32_t size) {
+    AdpcmState state;
+    const auto codes = adpcm_encode(make_waveform(seed, size), state);
+    return format_results({sum_bytes(codes), state.valprev, state.index});
+  };
+  return spec;
+}
+
+WorkloadSpec adpcm_decode_spec() {
+  WorkloadSpec spec;
+  spec.name = "adpcm_decode";
+  spec.description = "IMA ADPCM decoder (MediaBench-I, paper's benchmark)";
+  spec.default_size = 2048;
+  spec.source = [](std::uint64_t seed, std::uint32_t size) {
+    AdpcmState enc_state;
+    const auto codes = adpcm_encode(make_waveform(seed, size), enc_state);
+    std::vector<int> code_ints(codes.begin(), codes.end());
+    std::string src = R"(; IMA ADPCM decoder
+main:
+  la r1, input
+  la r2, outbuf
+  li r3, )" + std::to_string(size) + R"(
+  li r4, 0            ; valpred
+  li r5, 0            ; index
+  la r10, steptab
+  lw r6, 0(r10)       ; step
+  li r12, -1          ; input nibble buffer empty
+loop:
+  bltz r12, fetch
+  mv r7, r12
+  li r12, -1
+  j have
+fetch:
+  lbu r11, 0(r1)
+  addi r1, r1, 1
+  srli r7, r11, 4     ; high nibble first
+  andi r12, r11, 15
+have:
+  slli r11, r7, 2
+  la r10, idxtab
+  add r10, r10, r11
+  lw r11, 0(r10)
+  add r5, r5, r11     ; index += indexTable[delta]
+  bgez r5, i2
+  li r5, 0
+i2:
+  li r10, 88
+  ble r5, r10, i3
+  mv r5, r10
+i3:
+  andi r8, r7, 8      ; sign
+  andi r7, r7, 7      ; magnitude
+  srai r9, r6, 3      ; vpdiff = step >> 3
+  andi r11, r7, 4
+  beqz r11, d2
+  add r9, r9, r6
+d2:
+  andi r11, r7, 2
+  beqz r11, d1
+  srai r11, r6, 1
+  add r9, r9, r11
+d1:
+  andi r11, r7, 1
+  beqz r11, d0
+  srai r11, r6, 2
+  add r9, r9, r11
+d0:
+  beqz r8, addv
+  sub r4, r4, r9
+  j clamp
+addv:
+  add r4, r4, r9
+clamp:
+  li r10, 32767
+  ble r4, r10, c2
+  mv r4, r10
+c2:
+  li r10, -32768
+  bge r4, r10, c3
+  mv r4, r10
+c3:
+  slli r11, r5, 2
+  la r10, steptab
+  add r10, r10, r11
+  lw r6, 0(r10)       ; step = steptab[index]
+  sh r4, 0(r2)
+  addi r2, r2, 2
+  addi r3, r3, -1
+  bnez r3, loop
+  la r1, outbuf
+  li r7, 0
+  li r3, )" + std::to_string(size) + R"(
+csloop:
+  lh r11, 0(r1)
+  add r7, r7, r11
+  addi r1, r1, 2
+  addi r3, r3, -1
+  bnez r3, csloop
+  li r10, 0xFFFF0008
+  sw r7, 0(r10)       ; checksum of decoded samples
+  sw r4, 0(r10)       ; final predictor
+  sw r5, 0(r10)       ; final index
+  halt
+)" + std::string(kSharedTables) +
+                      index_table_words() + "steptab:\n" + step_table_words() +
+                      "input:\n" + emit_values(".byte", code_ints) +
+                      ".align 2\noutbuf: .space " + std::to_string(size * 2) + "\n";
+    return src;
+  };
+  spec.golden = [](std::uint64_t seed, std::uint32_t size) {
+    AdpcmState enc_state;
+    const auto codes = adpcm_encode(make_waveform(seed, size), enc_state);
+    AdpcmState dec_state;
+    const auto samples = adpcm_decode(codes, size, dec_state);
+    return format_results({sum_samples(samples), dec_state.valprev, dec_state.index});
+  };
+  return spec;
+}
+
+}  // namespace sofia::workloads

@@ -1,0 +1,31 @@
+// Helpers for baking generated input data into .data sections.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sofia::workloads {
+
+template <typename T>
+std::string emit_values(const std::string& directive, const std::vector<T>& values) {
+  std::string out;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i % 16 == 0) out += directive + " ";
+    out += std::to_string(static_cast<std::int64_t>(values[i]));
+    out += (i % 16 == 15 || i + 1 == values.size()) ? "\n" : ", ";
+  }
+  return out;
+}
+
+/// Three putint lines, the common result format.
+inline std::string format_results(std::initializer_list<std::int32_t> values) {
+  std::string out;
+  for (const std::int32_t v : values) {
+    out += std::to_string(v);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace sofia::workloads

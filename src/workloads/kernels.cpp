@@ -1,0 +1,428 @@
+// The non-ADPCM workloads: CRC-32, FIR filter, recursive quicksort, matrix
+// multiply, substring search, recursive Fibonacci. Each bakes seeded input
+// into .data and prints small integer results; the golden lambdas mirror
+// the assembly exactly (including 32-bit wraparound).
+#include <algorithm>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+#include "workloads/data_emit.hpp"
+#include "workloads/workloads.hpp"
+
+namespace sofia::workloads {
+namespace {
+
+std::vector<std::uint8_t> random_bytes(std::uint64_t seed, std::uint32_t n,
+                                       std::uint8_t lo = 0, std::uint8_t hi = 255) {
+  Rng rng(seed);
+  std::vector<std::uint8_t> v(n);
+  for (auto& b : v)
+    b = static_cast<std::uint8_t>(lo + rng.next_below(hi - lo + 1u));
+  return v;
+}
+
+std::vector<std::int32_t> random_words(std::uint64_t seed, std::uint32_t n) {
+  Rng rng(seed);
+  std::vector<std::int32_t> v(n);
+  for (auto& w : v) w = static_cast<std::int32_t>(rng.next_u32());
+  return v;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const std::vector<std::uint8_t>& data) {
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (const std::uint8_t byte : data) {
+    crc ^= byte;
+    for (int k = 0; k < 8; ++k)
+      crc = (crc >> 1) ^ (0xEDB88320u & (0u - (crc & 1u)));
+  }
+  return ~crc;
+}
+
+WorkloadSpec crc32_spec() {
+  WorkloadSpec spec;
+  spec.name = "crc32";
+  spec.description = "bitwise CRC-32 over a byte buffer";
+  spec.default_size = 1024;
+  spec.source = [](std::uint64_t seed, std::uint32_t size) {
+    const auto data = random_bytes(seed, size);
+    std::vector<int> ints(data.begin(), data.end());
+    return R"(; bitwise CRC-32 (poly 0xEDB88320)
+main:
+  la r1, data
+  li r3, )" + std::to_string(size) + R"(
+  li r4, -1
+byteloop:
+  lbu r5, 0(r1)
+  addi r1, r1, 1
+  xor r4, r4, r5
+  li r6, 8
+bitloop:
+  andi r7, r4, 1
+  srli r4, r4, 1
+  beqz r7, nobit
+  li r8, 0xEDB88320
+  xor r4, r4, r8
+nobit:
+  addi r6, r6, -1
+  bnez r6, bitloop
+  addi r3, r3, -1
+  bnez r3, byteloop
+  li r8, -1
+  xor r4, r4, r8
+  li r10, 0xFFFF0008
+  sw r4, 0(r10)
+  halt
+.data
+data:
+)" + emit_values(".byte", ints);
+  };
+  spec.golden = [](std::uint64_t seed, std::uint32_t size) {
+    return format_results(
+        {static_cast<std::int32_t>(crc32(random_bytes(seed, size)))});
+  };
+  return spec;
+}
+
+WorkloadSpec fir_spec() {
+  WorkloadSpec spec;
+  spec.name = "fir";
+  spec.description = "8-tap integer FIR filter over 16-bit samples";
+  spec.default_size = 1024;
+  static constexpr int kTaps[8] = {3, -7, 12, 25, 25, 12, -7, 3};
+  spec.source = [](std::uint64_t seed, std::uint32_t size) {
+    const auto samples = make_waveform(seed, size);
+    std::vector<int> sample_ints(samples.begin(), samples.end());
+    std::vector<int> taps(std::begin(kTaps), std::end(kTaps));
+    return R"(; 8-tap FIR, checksum of outputs
+main:
+  li r4, 0            ; checksum
+  li r1, 7            ; i = 7 .. size-1
+  li r2, )" + std::to_string(size) + R"(
+outer:
+  ; acc = sum_{t=0..7} taps[t] * x[i-t]
+  la r5, input
+  slli r6, r1, 1
+  add r5, r5, r6      ; &x[i]
+  la r6, taps
+  li r7, 0            ; acc
+  li r3, 8
+inner:
+  lh r8, 0(r5)
+  lw r9, 0(r6)
+  mul r8, r8, r9
+  add r7, r7, r8
+  addi r5, r5, -2
+  addi r6, r6, 4
+  addi r3, r3, -1
+  bnez r3, inner
+  srai r7, r7, 8
+  add r4, r4, r7
+  addi r1, r1, 1
+  blt r1, r2, outer
+  li r10, 0xFFFF0008
+  sw r4, 0(r10)
+  halt
+.data
+taps:
+)" + emit_values(".word", taps) +
+           "input:\n" + emit_values(".half", sample_ints);
+  };
+  spec.golden = [](std::uint64_t seed, std::uint32_t size) {
+    const auto x = make_waveform(seed, size);
+    std::uint32_t cs = 0;
+    for (std::uint32_t i = 7; i < size; ++i) {
+      std::int32_t acc = 0;
+      for (int t = 0; t < 8; ++t) acc += kTaps[t] * x[i - static_cast<std::uint32_t>(t)];
+      cs += static_cast<std::uint32_t>(acc >> 8);
+    }
+    return format_results({static_cast<std::int32_t>(cs)});
+  };
+  return spec;
+}
+
+WorkloadSpec quicksort_spec() {
+  WorkloadSpec spec;
+  spec.name = "quicksort";
+  spec.description = "recursive quicksort of 32-bit words (call/return stress)";
+  spec.default_size = 256;
+  spec.source = [](std::uint64_t seed, std::uint32_t size) {
+    const auto words = random_words(seed, size);
+    return R"(; recursive quicksort (Lomuto partition)
+main:
+  la r1, arr
+  la r2, arr
+  li r7, )" + std::to_string(4 * (size - 1)) + R"(
+  add r2, r2, r7
+  call qsort
+  ; verify sortedness and checksum
+  la r1, arr
+  li r3, )" + std::to_string(size) + R"(
+  li r4, 0            ; checksum
+  li r5, 1            ; sorted flag
+  li r6, 0x80000000   ; prev = INT_MIN
+chk:
+  lw r7, 0(r1)
+  bge r7, r6, inorder
+  li r5, 0
+inorder:
+  mv r6, r7
+  add r4, r4, r7
+  addi r1, r1, 4
+  addi r3, r3, -1
+  bnez r3, chk
+  li r10, 0xFFFF0008
+  sw r5, 0(r10)
+  sw r4, 0(r10)
+  halt
+
+qsort:                ; r1 = lo ptr, r2 = hi ptr (inclusive)
+  bgeu r1, r2, qdone
+  lw r4, 0(r2)        ; pivot
+  mv r5, r1           ; i
+  mv r6, r1           ; j
+part:
+  bgeu r6, r2, partdone
+  lw r7, 0(r6)
+  bgt r7, r4, noswap
+  lw r8, 0(r5)
+  sw r7, 0(r5)
+  sw r8, 0(r6)
+  addi r5, r5, 4
+noswap:
+  addi r6, r6, 4
+  j part
+partdone:
+  lw r8, 0(r5)
+  lw r7, 0(r2)
+  sw r7, 0(r5)
+  sw r8, 0(r2)
+  addi sp, sp, -12
+  sw lr, 0(sp)
+  sw r5, 4(sp)
+  sw r2, 8(sp)
+  addi r2, r5, -4
+  call qsort
+  lw r5, 4(sp)
+  lw r2, 8(sp)
+  addi r1, r5, 4
+  call qsort
+  lw lr, 0(sp)
+  addi sp, sp, 12
+qdone:
+  ret
+.data
+arr:
+)" + emit_values(".word", words);
+  };
+  spec.golden = [](std::uint64_t seed, std::uint32_t size) {
+    auto words = random_words(seed, size);
+    std::sort(words.begin(), words.end());
+    std::uint32_t cs = 0;
+    for (const std::int32_t w : words) cs += static_cast<std::uint32_t>(w);
+    return format_results({1, static_cast<std::int32_t>(cs)});
+  };
+  return spec;
+}
+
+WorkloadSpec matmul_spec() {
+  WorkloadSpec spec;
+  spec.name = "matmul";
+  spec.description = "dense integer matrix multiply (NxN)";
+  spec.default_size = 12;
+  spec.source = [](std::uint64_t seed, std::uint32_t size) {
+    Rng rng(seed);
+    std::vector<std::int32_t> a(size * size);
+    std::vector<std::int32_t> b(size * size);
+    for (auto& v : a) v = static_cast<std::int32_t>(rng.next_range(-99, 99));
+    for (auto& v : b) v = static_cast<std::int32_t>(rng.next_range(-99, 99));
+    const std::string n = std::to_string(size);
+    const std::string row_bytes = std::to_string(4 * size);
+    return R"(; C = A x B, checksum of all C elements
+main:
+  li r4, 0            ; checksum
+  li r1, 0            ; i
+iloop:
+  li r2, 0            ; j
+jloop:
+  li r8, )" + row_bytes + R"(
+  mul r10, r1, r8
+  la r8, mata
+  add r10, r10, r8    ; &A[i][0]
+  slli r11, r2, 2
+  la r8, matb
+  add r11, r11, r8    ; &B[0][j]
+  li r7, 0            ; acc
+  li r3, )" + n + R"(
+kloop:
+  lw r8, 0(r10)
+  lw r9, 0(r11)
+  mul r8, r8, r9
+  add r7, r7, r8
+  addi r10, r10, 4
+  addi r11, r11, )" + row_bytes + R"(
+  addi r3, r3, -1
+  bnez r3, kloop
+  add r4, r4, r7
+  addi r2, r2, 1
+  li r8, )" + n + R"(
+  blt r2, r8, jloop
+  addi r1, r1, 1
+  li r8, )" + n + R"(
+  blt r1, r8, iloop
+  li r10, 0xFFFF0008
+  sw r4, 0(r10)
+  halt
+.data
+mata:
+)" + emit_values(".word", a) +
+           "matb:\n" + emit_values(".word", b);
+  };
+  spec.golden = [](std::uint64_t seed, std::uint32_t size) {
+    Rng rng(seed);
+    std::vector<std::int32_t> a(size * size);
+    std::vector<std::int32_t> b(size * size);
+    for (auto& v : a) v = static_cast<std::int32_t>(rng.next_range(-99, 99));
+    for (auto& v : b) v = static_cast<std::int32_t>(rng.next_range(-99, 99));
+    std::uint32_t cs = 0;
+    for (std::uint32_t i = 0; i < size; ++i)
+      for (std::uint32_t j = 0; j < size; ++j) {
+        std::uint32_t acc = 0;
+        for (std::uint32_t k = 0; k < size; ++k)
+          acc += static_cast<std::uint32_t>(a[i * size + k]) *
+                 static_cast<std::uint32_t>(b[k * size + j]);
+        cs += acc;
+      }
+    return format_results({static_cast<std::int32_t>(cs)});
+  };
+  return spec;
+}
+
+WorkloadSpec strsearch_spec() {
+  WorkloadSpec spec;
+  spec.name = "strsearch";
+  spec.description = "substring search: occurrence count and position sum";
+  spec.default_size = 1024;
+  static constexpr std::uint8_t kPattern[4] = {'a', 'b', 'c', 'a'};
+  spec.source = [](std::uint64_t seed, std::uint32_t size) {
+    const auto text = random_bytes(seed, size, 'a', 'd');
+    std::vector<int> text_ints(text.begin(), text.end());
+    std::vector<int> pat_ints(std::begin(kPattern), std::end(kPattern));
+    return R"(; naive substring search
+main:
+  li r3, 0            ; pos
+  li r4, 0            ; count
+  li r5, 0            ; position sum
+  li r6, )" + std::to_string(size - 4) + R"(
+outer:
+  la r10, text
+  add r10, r10, r3
+  la r11, pat
+  li r7, 4
+cmp:
+  lbu r8, 0(r10)
+  lbu r12, 0(r11)
+  bne r8, r12, nomatch
+  addi r10, r10, 1
+  addi r11, r11, 1
+  addi r7, r7, -1
+  bnez r7, cmp
+  addi r4, r4, 1
+  add r5, r5, r3
+nomatch:
+  addi r3, r3, 1
+  ble r3, r6, outer
+  li r10, 0xFFFF0008
+  sw r4, 0(r10)
+  sw r5, 0(r10)
+  halt
+.data
+pat:
+)" + emit_values(".byte", pat_ints) +
+           "text:\n" + emit_values(".byte", text_ints);
+  };
+  spec.golden = [](std::uint64_t seed, std::uint32_t size) {
+    const auto text = random_bytes(seed, size, 'a', 'd');
+    std::int32_t count = 0;
+    std::int32_t possum = 0;
+    for (std::uint32_t p = 0; p + 4 <= size; ++p) {
+      bool match = true;
+      for (int t = 0; t < 4; ++t)
+        if (text[p + static_cast<std::uint32_t>(t)] != kPattern[t]) {
+          match = false;
+          break;
+        }
+      if (match) {
+        ++count;
+        possum += static_cast<std::int32_t>(p);
+      }
+    }
+    return format_results({count, possum});
+  };
+  return spec;
+}
+
+WorkloadSpec fib_spec() {
+  WorkloadSpec spec;
+  spec.name = "fib";
+  spec.description = "naive recursive Fibonacci (deep call/return stress)";
+  spec.default_size = 15;
+  spec.source = [](std::uint64_t /*seed*/, std::uint32_t size) {
+    return R"(; naive recursive fib
+main:
+  li r1, )" + std::to_string(size) + R"(
+  call fib
+  li r10, 0xFFFF0008
+  sw r2, 0(r10)
+  halt
+fib:
+  li r3, 2
+  blt r1, r3, base
+  addi sp, sp, -12
+  sw lr, 0(sp)
+  sw r1, 4(sp)
+  addi r1, r1, -1
+  call fib
+  sw r2, 8(sp)
+  lw r1, 4(sp)
+  addi r1, r1, -2
+  call fib
+  lw r3, 8(sp)
+  add r2, r2, r3
+  lw lr, 0(sp)
+  addi sp, sp, 12
+  ret
+base:
+  mv r2, r1
+  ret
+)";
+  };
+  spec.golden = [](std::uint64_t /*seed*/, std::uint32_t size) {
+    std::uint64_t a = 0;
+    std::uint64_t b = 1;
+    for (std::uint32_t i = 0; i < size; ++i) {
+      const std::uint64_t next = a + b;
+      a = b;
+      b = next;
+    }
+    return format_results({static_cast<std::int32_t>(a)});
+  };
+  return spec;
+}
+
+const std::vector<WorkloadSpec>& all_workloads() {
+  static const std::vector<WorkloadSpec> specs = {
+      adpcm_encode_spec(), adpcm_decode_spec(), crc32_spec(),    fir_spec(),
+      quicksort_spec(),    matmul_spec(),       strsearch_spec(), fib_spec(),
+      minivm_spec(),       bitcount_spec(),     dijkstra_spec()};
+  return specs;
+}
+
+const WorkloadSpec& workload(std::string_view name) {
+  for (const auto& spec : all_workloads())
+    if (spec.name == name) return spec;
+  throw Error("unknown workload '" + std::string(name) + "'");
+}
+
+}  // namespace sofia::workloads

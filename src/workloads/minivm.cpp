@@ -1,0 +1,201 @@
+// minivm: a tiny stack-machine interpreter whose inner loop dispatches
+// through a function-pointer table loaded from data (`jr` + `.targets`).
+// This is the workload that stresses the paper's hardest control-flow
+// case: computed dispatch is devirtualized into a compare+branch chain and
+// the shared dispatch label becomes a join with one predecessor per
+// handler, forcing a deep multiplexor tree (Fig. 9).
+//
+// Bytecode: 0 HALT, 1 PUSH imm8, 2 ADD, 3 SUB, 4 MUL, 5 DUP, 6 SWAP, 7 OUT
+// (pop into the rolling checksum cs = cs*31 + v). Programs are generated
+// with static stack-depth tracking, so they are valid by construction.
+#include "support/rng.hpp"
+#include "workloads/data_emit.hpp"
+#include "workloads/workloads.hpp"
+
+namespace sofia::workloads {
+namespace {
+
+enum VmOp : int {
+  kVmHalt = 0,
+  kVmPush = 1,
+  kVmAdd = 2,
+  kVmSub = 3,
+  kVmMul = 4,
+  kVmDup = 5,
+  kVmSwap = 6,
+  kVmOut = 7,
+};
+
+std::vector<int> make_bytecode(std::uint64_t seed, std::uint32_t length) {
+  Rng rng(seed);
+  std::vector<int> code;
+  int depth = 0;
+  while (code.size() < length) {
+    const auto pick = rng.next_below(8);
+    if (depth < 2 || pick < 3) {  // bias toward pushes when shallow
+      if (depth >= 30) {  // keep the VM stack bounded
+        code.push_back(kVmOut);
+        --depth;
+        continue;
+      }
+      code.push_back(kVmPush);
+      code.push_back(static_cast<int>(rng.next_range(-128, 127)));
+      ++depth;
+      continue;
+    }
+    switch (pick) {
+      case 3: code.push_back(kVmAdd); --depth; break;
+      case 4: code.push_back(kVmSub); --depth; break;
+      case 5: code.push_back(kVmMul); --depth; break;
+      case 6:
+        code.push_back(depth >= 2 ? kVmSwap : kVmDup);
+        break;
+      default:
+        code.push_back(kVmOut);
+        --depth;
+        break;
+    }
+  }
+  // Drain and stop.
+  while (depth-- > 0) code.push_back(kVmOut);
+  code.push_back(kVmHalt);
+  return code;
+}
+
+std::int32_t interpret(const std::vector<int>& code) {
+  std::int32_t stack[64];
+  int sp = 0;
+  std::uint32_t cs = 0;
+  std::size_t ip = 0;
+  for (;;) {
+    const int op = code[ip++];
+    switch (op) {
+      case kVmHalt:
+        return static_cast<std::int32_t>(cs);
+      case kVmPush:
+        stack[sp++] = static_cast<std::int8_t>(code[ip++]);
+        break;
+      case kVmAdd:
+        --sp;
+        stack[sp - 1] = static_cast<std::int32_t>(
+            static_cast<std::uint32_t>(stack[sp - 1]) +
+            static_cast<std::uint32_t>(stack[sp]));
+        break;
+      case kVmSub:
+        --sp;
+        stack[sp - 1] = static_cast<std::int32_t>(
+            static_cast<std::uint32_t>(stack[sp - 1]) -
+            static_cast<std::uint32_t>(stack[sp]));
+        break;
+      case kVmMul:
+        --sp;
+        stack[sp - 1] = static_cast<std::int32_t>(
+            static_cast<std::uint32_t>(stack[sp - 1]) *
+            static_cast<std::uint32_t>(stack[sp]));
+        break;
+      case kVmDup:
+        stack[sp] = stack[sp - 1];
+        ++sp;
+        break;
+      case kVmSwap:
+        std::swap(stack[sp - 1], stack[sp - 2]);
+        break;
+      case kVmOut:
+        --sp;
+        cs = cs * 31 + static_cast<std::uint32_t>(stack[sp]);
+        break;
+      default:
+        return -1;
+    }
+  }
+}
+
+}  // namespace
+
+WorkloadSpec minivm_spec() {
+  WorkloadSpec spec;
+  spec.name = "minivm";
+  spec.description =
+      "stack-machine interpreter with devirtualized jump-table dispatch";
+  spec.default_size = 512;
+  spec.source = [](std::uint64_t seed, std::uint32_t size) {
+    const auto code = make_bytecode(seed, size);
+    return R"(; bytecode interpreter with function-pointer dispatch
+main:
+  la r1, bytecode
+  la r2, vmstack
+  li r3, 0            ; checksum
+dispatch:
+  lbu r4, 0(r1)
+  addi r1, r1, 1
+  slli r5, r4, 2
+  la r6, handlers
+  add r6, r6, r5
+  lw r7, 0(r6)        ; handler address from the data-resident table
+  .targets h_halt, h_push, h_add, h_sub, h_mul, h_dup, h_swap, h_out
+  jr r7
+h_halt:
+  li r10, 0xFFFF0008
+  sw r3, 0(r10)
+  halt
+h_push:
+  lb r4, 0(r1)
+  addi r1, r1, 1
+  sw r4, 0(r2)
+  addi r2, r2, 4
+  j dispatch
+h_add:
+  addi r2, r2, -8
+  lw r4, 0(r2)
+  lw r5, 4(r2)
+  add r4, r4, r5
+  sw r4, 0(r2)
+  addi r2, r2, 4
+  j dispatch
+h_sub:
+  addi r2, r2, -8
+  lw r4, 0(r2)
+  lw r5, 4(r2)
+  sub r4, r4, r5
+  sw r4, 0(r2)
+  addi r2, r2, 4
+  j dispatch
+h_mul:
+  addi r2, r2, -8
+  lw r4, 0(r2)
+  lw r5, 4(r2)
+  mul r4, r4, r5
+  sw r4, 0(r2)
+  addi r2, r2, 4
+  j dispatch
+h_dup:
+  lw r4, -4(r2)
+  sw r4, 0(r2)
+  addi r2, r2, 4
+  j dispatch
+h_swap:
+  lw r4, -4(r2)
+  lw r5, -8(r2)
+  sw r4, -8(r2)
+  sw r5, -4(r2)
+  j dispatch
+h_out:
+  addi r2, r2, -4
+  lw r4, 0(r2)
+  li r5, 31
+  mul r3, r3, r5
+  add r3, r3, r4
+  j dispatch
+.data
+handlers: .word h_halt, h_push, h_add, h_sub, h_mul, h_dup, h_swap, h_out
+bytecode:
+)" + emit_values(".byte", code) +
+           ".align 4\nvmstack: .space 256\n";
+  };
+  spec.golden = [](std::uint64_t seed, std::uint32_t size) {
+    return format_results({interpret(make_bytecode(seed, size))});
+  };
+  return spec;
+}
+
+}  // namespace sofia::workloads

@@ -1,0 +1,73 @@
+// Benchmark workloads: SR32 assembly programs paired with C++ golden
+// models. The headline pair is the MediaBench-I ADPCM encoder/decoder the
+// paper evaluates (§IV-B); the rest broaden the suite (E12 in DESIGN.md).
+//
+// Each workload is hermetic: its generator bakes the (seeded) input data
+// into the .data section and the program prints its results through the
+// MMIO console, so a run is fully characterized by (name, seed, size).
+// The golden model produces the exact expected console output, which lets
+// tests require golden == vanilla-sim == SOFIA-sim.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sofia::workloads {
+
+struct WorkloadSpec {
+  std::string name;
+  std::string description;
+  std::uint32_t default_size = 0;  ///< elements (samples, bytes, ...)
+  /// SR32 source with input data baked in.
+  std::function<std::string(std::uint64_t seed, std::uint32_t size)> source;
+  /// Expected console output for the same (seed, size).
+  std::function<std::string(std::uint64_t seed, std::uint32_t size)> golden;
+};
+
+/// All registered workloads, in a stable order.
+const std::vector<WorkloadSpec>& all_workloads();
+
+/// Lookup by name; throws sofia::Error for unknown names.
+const WorkloadSpec& workload(std::string_view name);
+
+// Individual specs (also reachable through the registry).
+WorkloadSpec adpcm_encode_spec();
+WorkloadSpec adpcm_decode_spec();
+WorkloadSpec crc32_spec();
+WorkloadSpec fir_spec();
+WorkloadSpec quicksort_spec();
+WorkloadSpec matmul_spec();
+WorkloadSpec strsearch_spec();
+WorkloadSpec fib_spec();
+WorkloadSpec minivm_spec();
+WorkloadSpec bitcount_spec();
+WorkloadSpec dijkstra_spec();
+
+// ---- reference helpers shared by specs and tests -------------------------
+
+/// Deterministic 16-bit test waveform (triangle + pseudo-noise), the input
+/// to the ADPCM pair.
+std::vector<std::int16_t> make_waveform(std::uint64_t seed, std::uint32_t n);
+
+struct AdpcmState {
+  int valprev = 0;
+  int index = 0;
+};
+
+/// Bit-exact golden IMA-ADPCM coder (mirrors the assembly implementation,
+/// which follows MediaBench's adpcm_coder).
+std::vector<std::uint8_t> adpcm_encode(const std::vector<std::int16_t>& in,
+                                       AdpcmState& state);
+
+/// Bit-exact golden IMA-ADPCM decoder.
+std::vector<std::int16_t> adpcm_decode(const std::vector<std::uint8_t>& in,
+                                       std::uint32_t sample_count,
+                                       AdpcmState& state);
+
+/// Bitwise CRC-32 (poly 0xEDB88320), as the assembly computes it.
+std::uint32_t crc32(const std::vector<std::uint8_t>& data);
+
+}  // namespace sofia::workloads

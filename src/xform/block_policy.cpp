@@ -1,0 +1,25 @@
+#include "xform/block_policy.hpp"
+
+#include "support/error.hpp"
+
+namespace sofia::xform {
+
+void BlockPolicy::validate() const {
+  if (words_per_block < 5)
+    throw TransformError("block policy: need at least 5 words per block");
+  if (words_per_block % 2 != 0)
+    throw TransformError(
+        "block policy: words per block must be even (the 64-bit cipher "
+        "processes word pairs)");
+  if (store_min_word >= words_per_block)
+    throw TransformError("block policy: store restriction excludes every slot");
+}
+
+std::string BlockPolicy::describe() const {
+  return std::to_string(words_per_block) + "-word blocks (exec: " +
+         std::to_string(exec_insts()) + " insts, mux: " +
+         std::to_string(mux_insts()) + " insts), stores from word " +
+         std::to_string(store_min_word);
+}
+
+}  // namespace sofia::xform

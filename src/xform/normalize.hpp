@@ -1,0 +1,31 @@
+// Program normalization ahead of CFG construction: devirtualize annotated
+// indirect jumps into compare+direct-branch chains (DESIGN.md §3.5). After
+// this pass the only indirect control left is `ret`, whose return points
+// the CFG resolves statically, so the whole program has the precise CFG the
+// paper's encryption scheme requires.
+#pragma once
+
+#include "assembler/program.hpp"
+
+namespace sofia::xform {
+
+/// Rewrite every non-ret jalr with a `.targets` annotation into a dispatch
+/// sequence over r13 (the reserved scratch register):
+///
+///   la r13, t1 ; beq ra, r13, case1 ; ... ; halt(trap)
+///   case_j: jal rd, t_j ; j done              (call form, rd != r0)
+///   case_j: j t_j                              (jump form, rd == r0)
+///
+/// Throws sofia::TransformError for un-annotated indirect jumps, jalr
+/// through r13, or jalr with a non-zero immediate.
+assembler::Program devirtualize(const assembler::Program& prog);
+
+/// Merge multi-ret functions into a single epilogue (extra `ret`s become
+/// jumps to the first one). Required because a return site's block is
+/// encrypted with *the* address of the callee's return instruction — a
+/// callee therefore must have exactly one (paper §II-A: "the return point
+/// in the caller is encrypted with the address of the return instruction in
+/// the callee"). One-to-one instruction replacement: no indices shift.
+assembler::Program merge_returns(const assembler::Program& prog);
+
+}  // namespace sofia::xform

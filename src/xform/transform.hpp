@@ -1,0 +1,59 @@
+// The SOFIA software-installation flow (paper §III): normalize the
+// assembled program, pack it into execution/multiplexor blocks, compute the
+// per-block CBC-MAC over the plaintext instructions, interleave the MAC
+// words, and CTR-encrypt every word with its control-flow-dependent counter
+// (MAC-then-Encrypt, §II-C).
+#pragma once
+
+#include "assembler/image.hpp"
+#include "assembler/program.hpp"
+#include "crypto/ctr.hpp"
+#include "crypto/key_set.hpp"
+#include "xform/block_policy.hpp"
+#include "xform/layout.hpp"
+
+namespace sofia::xform {
+
+struct Options {
+  BlockPolicy policy = BlockPolicy::paper_default();
+  /// Keystream granularity (see crypto/ctr.hpp). Per-word is Alg. 1's
+  /// finest-grained semantics; per-pair matches the 64-bit-block hardware.
+  crypto::Granularity granularity = crypto::Granularity::kPerWord;
+  /// Drop statically unreachable code instead of packing it (a "toolchain
+  /// optimization" in the paper's future-work sense). Off by default: the
+  /// paper's transformation emits everything, and label references into
+  /// elided code fail the transform.
+  bool elide_unreachable = false;
+  assembler::MemoryLayout mem;
+};
+
+struct TransformStats {
+  LayoutStats layout;
+  std::uint32_t text_bytes_in = 0;   ///< 4 * source instructions
+  std::uint32_t text_bytes_out = 0;  ///< 4 * block words
+  double expansion() const {
+    return text_bytes_in == 0 ? 0.0
+                              : static_cast<double>(text_bytes_out) / text_bytes_in;
+  }
+};
+
+struct TransformResult {
+  assembler::LoadImage image;      ///< encrypted, loadable binary
+  BlockLayout layout;              ///< plaintext layout, for inspection
+  assembler::Program normalized;   ///< post-devirtualization program
+  TransformStats stats;
+};
+
+/// Run the complete transformation. Throws sofia::TransformError on
+/// unanalyzable control flow or layout failures.
+TransformResult transform(const assembler::Program& prog,
+                          const crypto::KeySet& keys, const Options& opts = {});
+
+/// Plaintext words of one laid-out block (MAC words followed by encoded
+/// instructions) — the transformation's pre-encryption view, exposed for
+/// tests and the inspector example.
+std::vector<std::uint32_t> block_plaintext(const BlockLayout& layout,
+                                           const Block& block,
+                                           const crypto::KeySet& keys);
+
+}  // namespace sofia::xform

@@ -1,0 +1,136 @@
+// A deliberately boring functional interpreter for vanilla images: no
+// pipeline, no hazards, no caches — just architectural semantics. Used as
+// an independent oracle against the cycle-level machine: any divergence
+// means the timing model leaked into the semantics.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "assembler/image.hpp"
+#include "isa/isa.hpp"
+#include "sim/config.hpp"
+#include "sim/memory.hpp"
+#include "support/bits.hpp"
+
+namespace sofia::test {
+
+struct RefResult {
+  bool halted = false;
+  int exit_code = 0;
+  std::string output;
+  std::uint64_t executed = 0;
+};
+
+inline RefResult reference_run(const assembler::LoadImage& image,
+                               std::uint64_t max_insts = 10'000'000) {
+  using isa::Opcode;
+  sim::Memory mem;
+  mem.load_image(image);
+  std::uint32_t regs[16] = {};
+  regs[isa::kRegSp] = image.stack_top;
+  std::uint32_t pc = image.entry;
+  RefResult result;
+
+  auto write = [&](unsigned r, std::uint32_t v) {
+    if (r != 0) regs[r] = v;
+  };
+
+  while (result.executed < max_insts) {
+    const auto decoded = isa::decode(mem.load32(pc));
+    if (!decoded) return result;  // undecodable: treated as a stuck machine
+    const auto& in = *decoded;
+    ++result.executed;
+    const std::uint32_t a = regs[in.ra];
+    const std::uint32_t b = regs[in.rb];
+    const auto sa = static_cast<std::int32_t>(a);
+    const auto sb = static_cast<std::int32_t>(b);
+    const auto uimm = static_cast<std::uint32_t>(in.imm);
+    std::uint32_t next = pc + 4;
+    switch (in.op) {
+      case Opcode::kNop: break;
+      case Opcode::kHalt:
+        result.halted = true;
+        return result;
+      case Opcode::kAdd: write(in.rd, a + b); break;
+      case Opcode::kSub: write(in.rd, a - b); break;
+      case Opcode::kAnd: write(in.rd, a & b); break;
+      case Opcode::kOr: write(in.rd, a | b); break;
+      case Opcode::kXor: write(in.rd, a ^ b); break;
+      case Opcode::kSll: write(in.rd, a << (b & 31)); break;
+      case Opcode::kSrl: write(in.rd, a >> (b & 31)); break;
+      case Opcode::kSra:
+        write(in.rd, static_cast<std::uint32_t>(sa >> (b & 31)));
+        break;
+      case Opcode::kSlt: write(in.rd, sa < sb ? 1 : 0); break;
+      case Opcode::kSltu: write(in.rd, a < b ? 1 : 0); break;
+      case Opcode::kMul: write(in.rd, a * b); break;
+      case Opcode::kAddi: write(in.rd, a + uimm); break;
+      case Opcode::kAndi: write(in.rd, a & uimm); break;
+      case Opcode::kOri: write(in.rd, a | uimm); break;
+      case Opcode::kXori: write(in.rd, a ^ uimm); break;
+      case Opcode::kSlli: write(in.rd, a << (uimm & 31)); break;
+      case Opcode::kSrli: write(in.rd, a >> (uimm & 31)); break;
+      case Opcode::kSrai:
+        write(in.rd, static_cast<std::uint32_t>(sa >> (uimm & 31)));
+        break;
+      case Opcode::kSlti: write(in.rd, sa < in.imm ? 1 : 0); break;
+      case Opcode::kSltiu: write(in.rd, a < uimm ? 1 : 0); break;
+      case Opcode::kLui: write(in.rd, uimm << 14); break;
+      case Opcode::kLw: write(in.rd, mem.load32(a + uimm)); break;
+      case Opcode::kLh:
+        write(in.rd, static_cast<std::uint32_t>(
+                         sign_extend(mem.load16(a + uimm), 16)));
+        break;
+      case Opcode::kLhu: write(in.rd, mem.load16(a + uimm)); break;
+      case Opcode::kLb:
+        write(in.rd, static_cast<std::uint32_t>(
+                         sign_extend(mem.load8(a + uimm), 8)));
+        break;
+      case Opcode::kLbu: write(in.rd, mem.load8(a + uimm)); break;
+      case Opcode::kSw:
+      case Opcode::kSh:
+      case Opcode::kSb: {
+        const std::uint32_t addr = a + uimm;
+        const std::uint32_t value = regs[in.rd];
+        if (addr >= sim::kMmioConsole) {
+          if (addr == sim::kMmioConsole) {
+            result.output.push_back(static_cast<char>(value & 0xFF));
+          } else if (addr == sim::kMmioExit) {
+            result.exit_code = static_cast<int>(value);
+            result.halted = true;
+            return result;
+          } else if (addr == sim::kMmioPutInt) {
+            result.output += std::to_string(static_cast<std::int32_t>(value));
+            result.output.push_back('\n');
+          }
+        } else if (in.op == Opcode::kSw) {
+          mem.store32(addr, value);
+        } else if (in.op == Opcode::kSh) {
+          mem.store16(addr, static_cast<std::uint16_t>(value));
+        } else {
+          mem.store8(addr, static_cast<std::uint8_t>(value));
+        }
+        break;
+      }
+      case Opcode::kBeq: if (a == b) next = pc + uimm * 4; break;
+      case Opcode::kBne: if (a != b) next = pc + uimm * 4; break;
+      case Opcode::kBlt: if (sa < sb) next = pc + uimm * 4; break;
+      case Opcode::kBge: if (sa >= sb) next = pc + uimm * 4; break;
+      case Opcode::kBltu: if (a < b) next = pc + uimm * 4; break;
+      case Opcode::kBgeu: if (a >= b) next = pc + uimm * 4; break;
+      case Opcode::kJal:
+        write(in.rd, pc + 4);
+        next = pc + uimm * 4;
+        break;
+      case Opcode::kJalr:
+        next = (a + uimm) & ~3u;
+        write(in.rd, pc + 4);
+        break;
+    }
+    pc = next;
+  }
+  return result;
+}
+
+}  // namespace sofia::test

@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include "hw/hw_model.hpp"
+
+namespace sofia::hw {
+namespace {
+
+TEST(HwModel, VanillaMatchesTable1) {
+  const HwModel model;
+  const auto e = model.vanilla();
+  EXPECT_DOUBLE_EQ(e.slices, 5889.0);
+  EXPECT_NEAR(e.clock_mhz, 92.3, 0.05);
+}
+
+TEST(HwModel, SofiaTwoCycleMatchesTable1) {
+  const HwModel model;
+  const auto e = model.sofia(2);
+  EXPECT_DOUBLE_EQ(e.slices, 7551.0);
+  EXPECT_NEAR(e.clock_mhz, 50.1, 0.05);
+}
+
+TEST(HwModel, Table1Deltas) {
+  const HwModel model;
+  const auto v = model.vanilla();
+  const auto s = model.sofia(2);
+  // Paper: area +28.2%, clock period 1.846x (the "84.6% slower" clock).
+  EXPECT_NEAR(overhead_pct(v.slices, s.slices), 28.2, 0.05);
+  EXPECT_NEAR(overhead_pct(v.period_ns, s.period_ns), 84.6, 0.5);
+}
+
+TEST(HwModel, RoundInstances) {
+  const HwModel model;
+  EXPECT_EQ(model.round_instances(1), 26);
+  EXPECT_EQ(model.round_instances(2), 13);
+  EXPECT_EQ(model.round_instances(4), 7);
+  EXPECT_EQ(model.round_instances(13), 2);
+  EXPECT_EQ(model.round_instances(26), 1);
+}
+
+TEST(HwModel, DeeperUnrollCostsAreaBuysClock) {
+  const HwModel model;
+  const auto full = model.sofia(1);    // fully combinational: 26 rounds
+  const auto paper = model.sofia(2);
+  const auto iter = model.sofia(26);   // one round instance, 26 cycles
+  EXPECT_GT(full.slices, paper.slices);
+  EXPECT_GT(paper.slices, iter.slices);
+  EXPECT_LT(full.clock_mhz, paper.clock_mhz);
+  EXPECT_LT(paper.clock_mhz, iter.clock_mhz);
+}
+
+TEST(HwModel, IterativeCipherLeavesClockUntouched) {
+  const HwModel model;
+  // With few enough rounds per cycle the CPU path dominates again.
+  const auto e = model.sofia(26);
+  EXPECT_NEAR(e.clock_mhz, model.vanilla().clock_mhz, 1e-9);
+}
+
+TEST(HwModel, ClockMonotoneInUnrollCycles) {
+  const HwModel model;
+  double prev = 0;
+  for (const int cycles : {1, 2, 3, 4, 6, 13, 26}) {
+    const auto e = model.sofia(cycles);
+    EXPECT_GE(e.clock_mhz, prev) << cycles;
+    prev = e.clock_mhz;
+  }
+}
+
+TEST(HwModel, ExecutionTimeHelpers) {
+  EXPECT_DOUBLE_EQ(execution_time_ms(50'000'000, 50.0), 1000.0);
+  EXPECT_NEAR(overhead_pct(100.0, 210.0), 110.0, 1e-9);
+}
+
+TEST(HwModel, PaperExecutionTimeOverheadFromReportedNumbers) {
+  // Sanity: plugging the paper's own cycle counts and clocks into the
+  // helpers reproduces the reported ~110% total execution-time overhead.
+  const double vanilla_ms = execution_time_ms(114'188'673, 92.3);
+  const double sofia_ms = execution_time_ms(130'840'013, 50.1);
+  EXPECT_NEAR(overhead_pct(vanilla_ms, sofia_ms), 110.0, 2.0);
+}
+
+}  // namespace
+}  // namespace sofia::hw

@@ -1,0 +1,332 @@
+// Microarchitectural behavior tests: trace facility, speculation squash,
+// store gating, engine policies, fetch-width configs, fault injection.
+#include <gtest/gtest.h>
+
+#include "sim_test_util.hpp"
+
+namespace sofia::sim {
+namespace {
+
+using test::sofia_config;
+using test::test_keys;
+using test::transform_source;
+
+TEST(Trace, RecordsExecutedInstructionsInOrder) {
+  const auto prog = assembler::assemble(R"(
+main:
+  addi r1, r0, 1
+  addi r2, r0, 2
+  halt
+)");
+  const auto img = assembler::link_vanilla(prog);
+  SimConfig cfg;
+  cfg.collect_trace = true;
+  const auto run = run_image(img, cfg);
+  ASSERT_EQ(run.trace.size(), 3u);
+  EXPECT_EQ(run.trace[0].pc, 0u);
+  EXPECT_EQ(run.trace[1].pc, 4u);
+  EXPECT_EQ(run.trace[2].pc, 8u);
+  EXPECT_LT(run.trace[0].cycle, run.trace[2].cycle);
+  const std::string text = format_trace(run.trace);
+  EXPECT_NE(text.find("addi r1, r0, 1"), std::string::npos);
+  EXPECT_NE(text.find("halt"), std::string::npos);
+}
+
+TEST(Trace, CapsAtMaxTrace) {
+  const auto prog = assembler::assemble(R"(
+main:
+  li r1, 100
+loop:
+  addi r1, r1, -1
+  bnez r1, loop
+  halt
+)");
+  const auto img = assembler::link_vanilla(prog);
+  SimConfig cfg;
+  cfg.collect_trace = true;
+  cfg.max_trace = 10;
+  const auto run = run_image(img, cfg);
+  EXPECT_EQ(run.trace.size(), 10u);
+}
+
+TEST(Trace, WrongPathInstructionsNeverExecute) {
+  // Speculation past a taken branch must be squashed: the instruction after
+  // the branch never appears in the trace.
+  const auto prog = assembler::assemble(R"(
+main:
+  li r1, 1
+  bnez r1, target      ; always taken
+  addi r2, r0, 99      ; wrong path
+target:
+  halt
+)");
+  const auto img = assembler::link_vanilla(prog);
+  SimConfig cfg;
+  cfg.collect_trace = true;
+  const auto run = run_image(img, cfg);
+  for (const auto& entry : run.trace) {
+    const auto inst = isa::decode(entry.word);
+    ASSERT_TRUE(inst.has_value());
+    EXPECT_FALSE(inst->op == isa::Opcode::kAddi && inst->imm == 99)
+        << "wrong-path instruction executed";
+  }
+}
+
+TEST(Trace, SofiaTraceMatchesVanillaInstructionSequence) {
+  // Filter out SOFIA padding NOPs: the remaining dynamic instruction stream
+  // must be identical (same opcodes in the same order).
+  const std::string src = R"(
+main:
+  li r1, 4
+  li r2, 0
+loop:
+  add r2, r2, r1
+  addi r1, r1, -1
+  bnez r1, loop
+  halt
+)";
+  const auto prog = assembler::assemble(src);
+  SimConfig vcfg;
+  vcfg.collect_trace = true;
+  const auto vrun = run_image(assembler::link_vanilla(prog), vcfg);
+
+  const auto keys = test_keys();
+  const auto result = transform_source(src, keys);
+  auto scfg = sofia_config(keys);
+  scfg.collect_trace = true;
+  const auto srun = run_image(result.image, scfg);
+
+  // The transformer adds padding NOPs and synthesized unconditional jumps
+  // (run-end joins); drop both from each side before comparing opcodes.
+  const auto filter = [](const std::vector<TraceEntry>& trace) {
+    std::vector<std::uint32_t> words;
+    for (const auto& e : trace) {
+      if (e.word == 0) continue;  // NOP
+      const auto inst = isa::decode(e.word);
+      if (inst && inst->op == isa::Opcode::kJal && inst->rd == isa::kRegZero)
+        continue;  // plain jump (synthesized or layout-specific)
+      words.push_back(e.word);
+    }
+    return words;
+  };
+  const auto vwords = filter(vrun.trace);
+  const auto swords = filter(srun.trace);
+  // Branch immediates differ between layouts; compare opcode sequences.
+  ASSERT_EQ(vwords.size(), swords.size());
+  for (std::size_t i = 0; i < vwords.size(); ++i)
+    EXPECT_EQ(vwords[i] >> 26, swords[i] >> 26) << "position " << i;
+}
+
+TEST(StoreGate, StallsAccountedOnlyForSofia) {
+  const std::string src = R"(
+main:
+  la r1, buf
+  sw r0, 0(r1)
+  sw r0, 4(r1)
+  halt
+.data
+buf: .space 8
+)";
+  const auto vrun = test::run_vanilla(src);
+  EXPECT_EQ(vrun.stats.store_gate_stalls, 0u);
+  const auto srun = test::run_sofia(src);
+  ASSERT_TRUE(srun.ok());
+  EXPECT_GT(srun.stats.store_gate_stalls, 0u);
+}
+
+TEST(StoreGate, HeadstartReducesStalls) {
+  const std::string src = R"(
+main:
+  la r1, buf
+  li r2, 16
+loop:
+  sw r2, 0(r1)
+  sw r2, 4(r1)
+  addi r2, r2, -1
+  bnez r2, loop
+  halt
+.data
+buf: .space 8
+)";
+  const auto keys = test_keys();
+  const auto result = transform_source(src, keys);
+  auto strict = sofia_config(keys);
+  strict.store_gate_headstart = 0;
+  auto relaxed = sofia_config(keys);
+  relaxed.store_gate_headstart = 5;
+  const auto a = run_image(result.image, strict);
+  const auto b = run_image(result.image, relaxed);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_GT(a.stats.store_gate_stalls, b.stats.store_gate_stalls);
+  EXPECT_GE(a.stats.cycles, b.stats.cycles);
+  EXPECT_EQ(a.output, b.output);
+}
+
+TEST(EngineConfig, IterativeEngineSlowerThanPipelined) {
+  const std::string src = R"(
+main:
+  li r1, 40
+loop:
+  addi r1, r1, -1
+  bnez r1, loop
+  halt
+)";
+  const auto keys = test_keys();
+  const auto result = transform_source(src, keys);
+  auto pipelined = sofia_config(keys);
+  auto iterative = sofia_config(keys);
+  iterative.cipher.pipelined = false;
+  const auto a = run_image(result.image, pipelined);
+  const auto b = run_image(result.image, iterative);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_LT(a.stats.cycles, b.stats.cycles);
+}
+
+TEST(EngineConfig, HigherLatencyCostsCycles) {
+  const std::string src = "main:\n li r1, 9\nloop:\n addi r1, r1, -1\n bnez r1, loop\n halt\n";
+  const auto keys = test_keys();
+  const auto result = transform_source(src, keys);
+  std::uint64_t prev = 0;
+  for (const std::uint32_t latency : {2u, 8u, 26u}) {
+    auto cfg = sofia_config(keys);
+    cfg.cipher.latency = latency;
+    cfg.cipher.pipelined = false;
+    const auto run = run_image(result.image, cfg);
+    ASSERT_TRUE(run.ok()) << latency;
+    EXPECT_GT(run.stats.cycles, prev) << latency;
+    prev = run.stats.cycles;
+  }
+}
+
+TEST(FetchWidth, NarrowFetchNeverFaster) {
+  const std::string src = R"(
+main:
+  li r1, 30
+loop:
+  addi r2, r2, 3
+  addi r3, r3, 5
+  add r2, r2, r3
+  addi r1, r1, -1
+  bnez r1, loop
+  halt
+)";
+  const auto keys = test_keys();
+  const auto result = transform_source(src, keys);
+  auto wide = sofia_config(keys);
+  wide.fetch_words_per_cycle = 2;
+  auto narrow = sofia_config(keys);
+  narrow.fetch_words_per_cycle = 1;
+  const auto a = run_image(result.image, wide);
+  const auto b = run_image(result.image, narrow);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_LE(a.stats.cycles, b.stats.cycles);
+  EXPECT_EQ(a.output, b.output);
+}
+
+TEST(Fault, VanillaFaultCanSilentlyCorrupt) {
+  // Flip the immediate bit of 'li r1, 4' -> vanilla prints a wrong value.
+  const std::string src = R"(
+main:
+  li r1, 4
+  li r10, 0xFFFF0008
+  sw r1, 0(r10)
+  halt
+)";
+  const auto prog = assembler::assemble(src);
+  const auto img = assembler::link_vanilla(prog);
+  SimConfig cfg;
+  cfg.fault.enabled = true;
+  cfg.fault.fetch_index = 0;  // the li itself
+  cfg.fault.bit = 1;          // imm bit: 4 -> 6
+  const auto run = run_image(img, cfg);
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run.output, "6\n");
+}
+
+TEST(Fault, SofiaDetectsSameFault) {
+  const std::string src = R"(
+main:
+  li r1, 4
+  li r10, 0xFFFF0008
+  sw r1, 0(r10)
+  halt
+)";
+  const auto keys = test_keys();
+  const auto result = transform_source(src, keys);
+  auto cfg = sofia_config(keys);
+  cfg.fault.enabled = true;
+  cfg.fault.fetch_index = 2;  // first instruction word of the first block
+  cfg.fault.bit = 1;
+  const auto run = run_image(result.image, cfg);
+  EXPECT_EQ(run.status, RunResult::Status::kReset);
+  EXPECT_EQ(run.reset.cause, ResetCause::kMacMismatch);
+  EXPECT_TRUE(run.output.empty());
+}
+
+TEST(Fault, FaultOnStoredMacWordDetected) {
+  const auto keys = test_keys();
+  const auto result = transform_source("main:\n li r1, 1\n halt\n", keys);
+  auto cfg = sofia_config(keys);
+  cfg.fault.enabled = true;
+  cfg.fault.fetch_index = 0;  // M1 of the entry block
+  cfg.fault.bit = 13;
+  const auto run = run_image(result.image, cfg);
+  EXPECT_EQ(run.status, RunResult::Status::kReset);
+}
+
+TEST(MaxCycles, SofiaInfiniteLoopBounded) {
+  const auto keys = test_keys();
+  const auto result = transform_source("main:\n j main\n", keys);
+  auto cfg = sofia_config(keys);
+  cfg.max_cycles = 3000;
+  const auto run = run_image(result.image, cfg);
+  EXPECT_EQ(run.status, RunResult::Status::kMaxCycles);
+}
+
+TEST(Devirt, UnlistedTargetTrapsInsteadOfJumping) {
+  // The pointer value names a function outside the .targets set: the
+  // devirtualized dispatch must fall into its trap (halt) rather than jump.
+  const std::string src = R"(
+main:
+  la r4, evil
+  li r1, 0
+  .targets good
+  jalr lr, r4
+  li r1, 1             ; skipped if the dispatch trapped
+  halt
+good:
+  addi r1, r1, 10
+  ret
+evil:
+  li r1, 666
+  ret
+)";
+  const auto keys = test_keys();
+  const auto result = transform_source(src, keys);
+  const auto run = run_image(result.image, sofia_config(keys));
+  // The trap halts with r1 still 0 and no output; crucially 666 never ran.
+  EXPECT_EQ(run.status, RunResult::Status::kHalted);
+  EXPECT_TRUE(run.output.empty());
+}
+
+TEST(Stats, QueueAndStallCountersConsistent) {
+  const auto run = test::run_sofia(R"(
+main:
+  li r1, 12
+loop:
+  addi r1, r1, -1
+  bnez r1, loop
+  halt
+)");
+  ASSERT_TRUE(run.ok());
+  // Executed instructions cannot exceed elapsed cycles (single issue).
+  EXPECT_LE(run.stats.insts, run.stats.cycles);
+  // Every block verified exactly once.
+  EXPECT_EQ(run.stats.mac_verifications, run.stats.blocks_fetched);
+}
+
+}  // namespace
+}  // namespace sofia::sim

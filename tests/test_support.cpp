@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "support/bits.hpp"
+#include "support/hex.hpp"
+#include "support/rng.hpp"
+
+namespace sofia {
+namespace {
+
+TEST(Bits, Rotl16Basics) {
+  EXPECT_EQ(rotl16(0x0001, 1), 0x0002);
+  EXPECT_EQ(rotl16(0x8000, 1), 0x0001);
+  EXPECT_EQ(rotl16(0x1234, 0), 0x1234);
+  EXPECT_EQ(rotl16(0x1234, 16), 0x1234);
+  EXPECT_EQ(rotl16(0xABCD, 4), 0xBCDA);
+}
+
+TEST(Bits, Rotr16InvertsRotl16) {
+  for (unsigned n = 0; n < 16; ++n) {
+    EXPECT_EQ(rotr16(rotl16(0x5A3C, n), n), 0x5A3C) << n;
+  }
+}
+
+TEST(Bits, Rotl32AndRotr32) {
+  EXPECT_EQ(rotl32(0x80000000u, 1), 1u);
+  EXPECT_EQ(rotr32(1u, 1), 0x80000000u);
+  for (unsigned n = 0; n < 32; ++n)
+    EXPECT_EQ(rotr32(rotl32(0xDEADBEEFu, n), n), 0xDEADBEEFu) << n;
+}
+
+TEST(Bits, ExtractInsertRoundTrip) {
+  const std::uint32_t w = 0xCAFEBABEu;
+  for (unsigned lo = 0; lo < 28; lo += 3) {
+    const std::uint32_t field = bits(w, lo, 4);
+    EXPECT_EQ(insert_bits(w, lo, 4, field), w);
+  }
+}
+
+TEST(Bits, InsertMasksValue) {
+  EXPECT_EQ(insert_bits(0, 4, 4, 0xFF), 0xF0u);  // value truncated to width
+  EXPECT_EQ(insert_bits(0xFFFFFFFFu, 8, 8, 0), 0xFFFF00FFu);
+}
+
+TEST(Bits, SignExtend) {
+  EXPECT_EQ(sign_extend(0x1FFF, 14), 0x1FFF);
+  EXPECT_EQ(sign_extend(0x2000, 14), -8192);
+  EXPECT_EQ(sign_extend(0x3FFF, 14), -1);
+  EXPECT_EQ(sign_extend(0x7F, 8), 127);
+  EXPECT_EQ(sign_extend(0x80, 8), -128);
+  EXPECT_EQ(sign_extend(0xFFFFFFFFu, 32), -1);
+}
+
+TEST(Bits, FitsSigned) {
+  EXPECT_TRUE(fits_signed(8191, 14));
+  EXPECT_FALSE(fits_signed(8192, 14));
+  EXPECT_TRUE(fits_signed(-8192, 14));
+  EXPECT_FALSE(fits_signed(-8193, 14));
+  EXPECT_TRUE(fits_signed(0, 1));
+  EXPECT_TRUE(fits_signed(-1, 1));
+  EXPECT_FALSE(fits_signed(1, 1));
+}
+
+TEST(Bits, FitsUnsigned) {
+  EXPECT_TRUE(fits_unsigned(0x3FFFF, 18));
+  EXPECT_FALSE(fits_unsigned(0x40000, 18));
+  EXPECT_TRUE(fits_unsigned(~0ull, 64));
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextBelowInRangeAndCoversValues) {
+  Rng rng(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.next_below(10);
+    ASSERT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, NextRangeInclusiveBounds) {
+  Rng rng(9);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.next_range(-3, 3);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.next_double();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+  }
+}
+
+TEST(Hex, Formatting) {
+  EXPECT_EQ(hex32(0xDEADBEEF), "deadbeef");
+  EXPECT_EQ(hex32(0x1), "00000001");
+  EXPECT_EQ(hex64(0x123456789ABCDEFull), "0123456789abcdef");
+  EXPECT_EQ(hex32_0x(0xFF), "0x000000ff");
+}
+
+TEST(Hex, DumpWords) {
+  const std::uint32_t words[] = {1, 2, 3, 4, 5};
+  const std::string dump = hexdump_words(words, 0x100);
+  EXPECT_NE(dump.find("00000100: 00000001 00000002 00000003 00000004"),
+            std::string::npos);
+  EXPECT_NE(dump.find("00000110: 00000005"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sofia

@@ -1,0 +1,145 @@
+// Integration tests for the command-line tools (sofia_asm / sofia_run /
+// sofia_objdump), exercised as real subprocesses. Tool paths are injected
+// by CMake.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#ifndef SOFIA_ASM_BIN
+#error "tool paths must be defined by the build"
+#endif
+
+namespace {
+
+std::string run_command(const std::string& command, int* exit_code) {
+  std::array<char, 512> buffer;
+  std::string output;
+  FILE* pipe = popen((command + " 2>&1").c_str(), "r");
+  if (pipe == nullptr) {
+    *exit_code = -1;
+    return output;
+  }
+  while (fgets(buffer.data(), buffer.size(), pipe) != nullptr)
+    output += buffer.data();
+  const int status = pclose(pipe);
+  *exit_code = WEXITSTATUS(status);
+  return output;
+}
+
+const char* kSource = R"(
+main:
+  li r1, 11
+  call triple
+  li r10, 0xFFFF0008
+  sw r1, 0(r10)
+  li r2, 0xFFFF0004
+  sw r1, 0(r2)
+  halt
+triple:
+  add r2, r1, r1
+  add r1, r1, r2
+  ret
+)";
+
+class Tools : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    src_ = "/tmp/sofia_tools_test.s";
+    img_ = "/tmp/sofia_tools_test.img";
+    std::ofstream out(src_);
+    out << kSource;
+  }
+  void TearDown() override {
+    std::remove(src_.c_str());
+    std::remove(img_.c_str());
+  }
+  std::string src_;
+  std::string img_;
+};
+
+TEST_F(Tools, AssembleRunSofia) {
+  int code = 0;
+  const auto asm_out = run_command(
+      std::string(SOFIA_ASM_BIN) + " --key-seed 5 " + src_ + " " + img_, &code);
+  ASSERT_EQ(code, 0) << asm_out;
+  EXPECT_NE(asm_out.find("SOFIA image"), std::string::npos);
+
+  const auto run_out = run_command(
+      std::string(SOFIA_RUN_BIN) + " --key-seed 5 " + img_, &code);
+  EXPECT_EQ(code, 33);  // exit code = 3 * 11 via the MMIO exit register
+  EXPECT_NE(run_out.find("33"), std::string::npos) << run_out;
+  EXPECT_NE(run_out.find("status=exited"), std::string::npos) << run_out;
+}
+
+TEST_F(Tools, WrongKeySeedResets) {
+  int code = 0;
+  run_command(std::string(SOFIA_ASM_BIN) + " --quiet --key-seed 5 " + src_ +
+                  " " + img_, &code);
+  ASSERT_EQ(code, 0);
+  const auto run_out = run_command(
+      std::string(SOFIA_RUN_BIN) + " --key-seed 6 " + img_, &code);
+  EXPECT_EQ(code, 3);
+  EXPECT_NE(run_out.find("status=reset"), std::string::npos) << run_out;
+  EXPECT_NE(run_out.find("mac-mismatch"), std::string::npos) << run_out;
+}
+
+TEST_F(Tools, VanillaPath) {
+  int code = 0;
+  run_command(std::string(SOFIA_ASM_BIN) + " --vanilla --quiet " + src_ + " " +
+                  img_, &code);
+  ASSERT_EQ(code, 0);
+  const auto run_out = run_command(std::string(SOFIA_RUN_BIN) + " " + img_, &code);
+  EXPECT_EQ(code, 33);
+  EXPECT_NE(run_out.find("[vanilla core]"), std::string::npos) << run_out;
+}
+
+TEST_F(Tools, ObjdumpShowsCiphertextForSofia) {
+  int code = 0;
+  run_command(std::string(SOFIA_ASM_BIN) + " --quiet " + src_ + " " + img_,
+              &code);
+  ASSERT_EQ(code, 0);
+  const auto dump = run_command(std::string(SOFIA_OBJDUMP_BIN) + " " + img_, &code);
+  EXPECT_EQ(code, 0);
+  EXPECT_NE(dump.find("ciphertext only"), std::string::npos) << dump;
+  // No disassembly of the protected text.
+  EXPECT_EQ(dump.find("addi"), std::string::npos) << dump;
+}
+
+TEST_F(Tools, ObjdumpDisassemblesVanilla) {
+  int code = 0;
+  run_command(std::string(SOFIA_ASM_BIN) + " --vanilla --quiet " + src_ + " " +
+                  img_, &code);
+  const auto dump = run_command(std::string(SOFIA_OBJDUMP_BIN) + " " + img_, &code);
+  EXPECT_EQ(code, 0);
+  EXPECT_NE(dump.find("add r2, r1, r1"), std::string::npos) << dump;
+}
+
+TEST_F(Tools, StatsFlagPrintsCounters) {
+  int code = 0;
+  run_command(std::string(SOFIA_ASM_BIN) + " --quiet " + src_ + " " + img_,
+              &code);
+  const auto run_out = run_command(
+      std::string(SOFIA_RUN_BIN) + " --stats " + img_, &code);
+  EXPECT_NE(run_out.find("verifications="), std::string::npos) << run_out;
+}
+
+TEST_F(Tools, ReportRunsHealthy) {
+  int code = 0;
+  const auto out = run_command(std::string(SOFIA_REPORT_BIN) + " --quick", &code);
+  EXPECT_EQ(code, 0) << out;
+  EXPECT_NE(out.find("Table I"), std::string::npos);
+  EXPECT_NE(out.find("46795"), std::string::npos);
+}
+
+TEST_F(Tools, BadUsageExitsNonZero) {
+  int code = 0;
+  run_command(std::string(SOFIA_ASM_BIN), &code);
+  EXPECT_NE(code, 0);
+  run_command(std::string(SOFIA_RUN_BIN) + " /nonexistent.img", &code);
+  EXPECT_NE(code, 0);
+}
+
+}  // namespace

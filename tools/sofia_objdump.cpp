@@ -1,0 +1,66 @@
+// sofia-objdump: inspect a saved image. Vanilla images disassemble fully;
+// SOFIA images show the block structure and raw ciphertext only — without
+// the device keys the text is unintelligible, which is exactly the paper's
+// software-confidentiality ("copyright protection") property.
+//
+//   sofia_objdump [--block-words n] image.img
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "assembler/image_io.hpp"
+#include "isa/disasm.hpp"
+#include "support/error.hpp"
+#include "support/hex.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sofia;
+  std::uint32_t block_words = 8;
+  std::string path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--block-words") {
+      if (i + 1 >= argc) { std::fprintf(stderr, "missing value\n"); return 2; }
+      block_words = static_cast<std::uint32_t>(std::strtoul(argv[++i], nullptr, 0));
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      std::fprintf(stderr, "usage: sofia_objdump [--block-words n] image.img\n");
+      return 2;
+    }
+  }
+  if (path.empty()) {
+    std::fprintf(stderr, "usage: sofia_objdump [--block-words n] image.img\n");
+    return 2;
+  }
+  try {
+    const auto image = assembler::load_image_file(path);
+    std::printf("%s image: text %u B @%s, data %zu B @%s, entry %s\n",
+                image.sofia ? "SOFIA" : "vanilla", image.text_bytes(),
+                hex32_0x(image.text_base).c_str(), image.data.size(),
+                hex32_0x(image.data_base).c_str(), hex32_0x(image.entry).c_str());
+    if (image.sofia)
+      std::printf("omega 0x%04x, %s CTR; ciphertext only (device keys "
+                  "required to decrypt):\n",
+                  image.omega, image.per_pair ? "per-pair" : "per-word");
+    for (std::size_t i = 0; i < image.text.size(); ++i) {
+      const std::uint32_t addr =
+          image.text_base + static_cast<std::uint32_t>(i * 4);
+      if (image.sofia) {
+        const std::uint32_t off = static_cast<std::uint32_t>(i) % block_words;
+        if (off == 0)
+          std::printf("block %zu @%s\n", i / block_words, hex32_0x(addr).c_str());
+        std::printf("  w%u %s  %s\n", off, hex32_0x(addr).c_str(),
+                    hex32(image.text[i]).c_str());
+      } else {
+        std::printf("%s: %s  %s\n", hex32_0x(addr).c_str(),
+                    hex32(image.text[i]).c_str(),
+                    isa::disassemble_word(image.text[i], addr).c_str());
+      }
+    }
+    return 0;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "sofia_objdump: %s\n", e.what());
+    return 1;
+  }
+}

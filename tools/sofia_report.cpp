@@ -1,0 +1,87 @@
+// sofia-report: one-command reproduction summary — runs the headline
+// experiments (Table I, the ADPCM benchmark, the security analysis, a
+// fault campaign) and prints a compact paper-vs-measured table. The full
+// sweeps live in the bench/ binaries; this is the "is the reproduction
+// healthy?" view.
+//
+//   sofia_report [--quick]
+#include <cstdio>
+#include <cstring>
+
+#include "bench/bench_util.hpp"
+#include "security/attacks.hpp"
+#include "security/forgery.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sofia;
+  const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+  const std::uint32_t samples = quick ? 1024 : 8192;
+  const auto keys = bench::bench_keys();
+  const hw::HwModel model;
+
+  std::printf("SOFIA reproduction report\n");
+  std::printf("=========================\n\n");
+
+  // --- Table I ---------------------------------------------------------------
+  const auto vanilla = model.vanilla();
+  const auto sofia_hw = model.sofia(2);
+  std::printf("%-44s %16s %16s\n", "experiment", "paper", "measured");
+  bench::print_rule(80);
+  std::printf("%-44s %16s %16.0f\n", "Table I vanilla slices", "5889",
+              vanilla.slices);
+  std::printf("%-44s %16s %16.0f\n", "Table I SOFIA slices", "7551",
+              sofia_hw.slices);
+  std::printf("%-44s %16s %15.1f%%\n", "Table I area overhead", "+28.2%",
+              hw::overhead_pct(vanilla.slices, sofia_hw.slices));
+  std::printf("%-44s %16s %16.1f\n", "Table I SOFIA clock (MHz)", "50.1",
+              sofia_hw.clock_mhz);
+
+  // --- security analytics ------------------------------------------------------
+  std::printf("%-44s %16s %16.0f\n", "SI forgery years (64b, 8cyc, 50MHz)",
+              "46795", security::forgery_years(64, 8, 50e6));
+  std::printf("%-44s %16s %16.0f\n", "CFI attack years (16 cyc/trial)", "93590",
+              security::forgery_years(64, 16, 50e6));
+
+  // --- ADPCM -------------------------------------------------------------------
+  double text_ratio = 0;
+  double cyc = 0;
+  double time_ovh = 0;
+  for (const char* name : {"adpcm_encode", "adpcm_decode"}) {
+    const auto m = bench::measure_workload(workloads::workload(name), 1, samples);
+    text_ratio += m.size_ratio() / 2;
+    cyc += m.cycle_overhead_pct() / 2;
+    time_ovh += m.time_overhead_pct(model, 2) / 2;
+  }
+  std::printf("%-44s %16s %15.2fx\n", "ADPCM text expansion", "2.41x", text_ratio);
+  std::printf("%-44s %16s %15.1f%%\n",
+              "ADPCM cycle overhead (see EXPERIMENTS E3)", "+13.7%", cyc);
+  std::printf("%-44s %16s %15.1f%%\n", "ADPCM exec-time overhead", "+110%",
+              time_ovh);
+
+  // --- attack round-trip ---------------------------------------------------------
+  const auto rop = security::run_rop_demo(keys);
+  const bool rop_ok =
+      rop.vanilla_attacked.output.find("6666") != std::string::npos &&
+      rop.sofia_attacked.status == sim::RunResult::Status::kReset;
+  std::printf("%-44s %16s %16s\n", "ROP: vanilla breached / SOFIA reset",
+              "detect", rop_ok ? "ok" : "FAIL");
+  const auto jop = security::run_jop_demo(keys);
+  const bool jop_ok =
+      jop.vanilla_attacked.output.find("7777") != std::string::npos &&
+      jop.sofia_attacked.output.empty();
+  std::printf("%-44s %16s %16s\n", "JOP: vanilla breached / SOFIA trapped",
+              "detect", jop_ok ? "ok" : "FAIL");
+
+  Rng rng(1);
+  const auto faults = security::run_fault_campaign(
+      "main:\n li r2, 40\nloop:\n addi r1, r1, 3\n addi r2, r2, -1\n bnez r2, "
+      "loop\n li r10, 0xFFFF0008\n sw r1, 0(r10)\n halt\n",
+      keys, /*sofia=*/true, quick ? 40 : 150, rng);
+  std::printf("%-44s %16s %10llu/%llu\n", "fetch faults detected (SOFIA)",
+              "all",
+              static_cast<unsigned long long>(faults.detected),
+              static_cast<unsigned long long>(faults.trials));
+  bench::print_rule(80);
+  std::printf("\nDetails: EXPERIMENTS.md; full sweeps: build/bench/*.\n");
+  return (rop_ok && jop_ok && faults.detected == faults.trials) ? 0 : 1;
+}

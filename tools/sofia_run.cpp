@@ -1,0 +1,102 @@
+// sofia-run: execute a saved image on the simulated device (vanilla core
+// for plain images, SOFIA core for hardened ones).
+//
+//   sofia_run [options] image.img
+//     --key-seed <n>     device KeySet seed (must match sofia_asm's)
+//     --max-cycles <n>   cycle budget (default 2e9)
+//     --stats            print the detailed statistics block
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "assembler/image_io.hpp"
+#include "crypto/key_set.hpp"
+#include "sim/machine.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+[[noreturn]] void usage() {
+  std::fprintf(stderr,
+               "usage: sofia_run [--key-seed n] [--max-cycles n] [--stats] "
+               "image.img\n");
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sofia;
+  std::uint64_t key_seed = 0;
+  bool have_seed = false;
+  bool stats = false;
+  std::uint64_t max_cycles = 0;
+  std::string path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next_value = [&]() -> const char* {
+      if (i + 1 >= argc) usage();
+      return argv[++i];
+    };
+    if (arg == "--key-seed") { key_seed = std::strtoull(next_value(), nullptr, 0); have_seed = true; }
+    else if (arg == "--max-cycles") max_cycles = std::strtoull(next_value(), nullptr, 0);
+    else if (arg == "--stats") stats = true;
+    else if (!arg.empty() && arg[0] == '-') usage();
+    else if (path.empty()) path = arg;
+    else usage();
+  }
+  if (path.empty()) usage();
+
+  try {
+    const auto image = assembler::load_image_file(path);
+    sim::SimConfig config;
+    if (have_seed) {
+      Rng rng(key_seed);
+      config.keys = crypto::KeySet::random(crypto::CipherKind::kRectangle80, rng);
+    } else {
+      config.keys = crypto::KeySet::example(crypto::CipherKind::kRectangle80);
+    }
+    if (max_cycles != 0) config.max_cycles = max_cycles;
+    const auto run = sim::run_image(image, config);
+    if (!run.output.empty()) std::fputs(run.output.c_str(), stdout);
+    std::printf("[%s core] status=%s", image.sofia ? "SOFIA" : "vanilla",
+                to_string(run.status).data());
+    if (run.status == sim::RunResult::Status::kExited)
+      std::printf(" code=%d", run.exit_code);
+    if (run.status == sim::RunResult::Status::kReset)
+      std::printf(" cause=%s pc=0x%x cycle=%llu",
+                  to_string(run.reset.cause).data(), run.reset.pc,
+                  static_cast<unsigned long long>(run.reset.cycle));
+    if (run.status == sim::RunResult::Status::kFault)
+      std::printf(" fault=%s", run.fault.c_str());
+    std::printf(" cycles=%llu\n", static_cast<unsigned long long>(run.stats.cycles));
+    if (stats) {
+      const auto& s = run.stats;
+      std::printf("insts=%llu nops=%llu loads=%llu stores=%llu branches=%llu "
+                  "taken=%llu\n",
+                  static_cast<unsigned long long>(s.insts),
+                  static_cast<unsigned long long>(s.nops),
+                  static_cast<unsigned long long>(s.loads),
+                  static_cast<unsigned long long>(s.stores),
+                  static_cast<unsigned long long>(s.branches),
+                  static_cast<unsigned long long>(s.taken));
+      std::printf("icache: %llu hits %llu misses; blocks=%llu verifications=%llu "
+                  "ctr=%llu cbc=%llu gate-stalls=%llu\n",
+                  static_cast<unsigned long long>(s.icache_hits),
+                  static_cast<unsigned long long>(s.icache_misses),
+                  static_cast<unsigned long long>(s.blocks_fetched),
+                  static_cast<unsigned long long>(s.mac_verifications),
+                  static_cast<unsigned long long>(s.ctr_ops),
+                  static_cast<unsigned long long>(s.cbc_ops),
+                  static_cast<unsigned long long>(s.store_gate_stalls));
+    }
+    return run.ok() ? (run.status == sim::RunResult::Status::kExited
+                           ? run.exit_code
+                           : 0)
+                    : 3;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "sofia_run: %s\n", e.what());
+    return 1;
+  }
+}
