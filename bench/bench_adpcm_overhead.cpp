@@ -11,7 +11,7 @@
 // timing are reported (see sim::CipherTiming).
 #include <cstdio>
 
-#include "bench/bench_util.hpp"
+#include "support/measure.hpp"
 
 int main() {
   using namespace sofia;

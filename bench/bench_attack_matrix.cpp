@@ -2,7 +2,7 @@
 // SOFIA device, plus the ROP demonstration against both cores.
 #include <cstdio>
 
-#include "bench/bench_util.hpp"
+#include "support/measure.hpp"
 #include "security/attacks.hpp"
 
 int main() {

@@ -4,7 +4,7 @@
 // blocks as an extension.
 #include <cstdio>
 
-#include "bench/bench_util.hpp"
+#include "support/measure.hpp"
 
 int main() {
   using namespace sofia;

@@ -4,7 +4,7 @@
 // reset; on the vanilla core faults silently corrupt program output.
 #include <cstdio>
 
-#include "bench/bench_util.hpp"
+#include "support/measure.hpp"
 #include "security/forgery.hpp"
 
 int main() {

@@ -3,7 +3,7 @@
 // vanilla and SOFIA binaries of the same program.
 #include <cstdio>
 
-#include "bench/bench_util.hpp"
+#include "support/measure.hpp"
 
 int main() {
   using namespace sofia;

@@ -4,7 +4,7 @@
 #include <cstdio>
 #include <string>
 
-#include "bench/bench_util.hpp"
+#include "support/measure.hpp"
 
 namespace {
 

@@ -9,7 +9,7 @@
 // lengths.
 #include <cstdio>
 
-#include "bench/bench_util.hpp"
+#include "support/measure.hpp"
 #include "security/forgery.hpp"
 
 int main() {

@@ -3,7 +3,7 @@
 // workload under the paper-default configuration.
 #include <cstdio>
 
-#include "bench/bench_util.hpp"
+#include "support/measure.hpp"
 
 int main() {
   using namespace sofia;

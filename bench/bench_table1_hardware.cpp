@@ -6,7 +6,7 @@
 //   (+28.2% area, clock period 1.846x — "84.6% slower")
 #include <cstdio>
 
-#include "bench/bench_util.hpp"
+#include "support/measure.hpp"
 #include "hw/hw_model.hpp"
 
 int main() {

@@ -4,7 +4,7 @@
 // give total execution time per design point.
 #include <cstdio>
 
-#include "bench/bench_util.hpp"
+#include "support/measure.hpp"
 
 int main() {
   using namespace sofia;

@@ -1,7 +1,8 @@
-// Shared harness for the experiment-reproduction benches: run a workload on
-// the vanilla core and through the full SOFIA pipeline, and combine cycle
-// counts with the hardware model's clock estimates into total-execution-time
-// overheads (the paper's headline metric).
+// Shared measurement harness for the experiment-reproduction benches and the
+// sofia_report tool: run a workload on the vanilla core and through the full
+// SOFIA pipeline, and combine cycle counts with the hardware model's clock
+// estimates into total-execution-time overheads (the paper's headline
+// metric). Lives in src/ so tools never have to reach into bench/.
 #pragma once
 
 #include <cstdio>

@@ -1,0 +1,11 @@
+#include "support/version.hpp"
+
+#ifndef SOFIA_VERSION_STRING
+#define SOFIA_VERSION_STRING "0.0.0-unbuilt"
+#endif
+
+namespace sofia {
+
+const char* version_string() { return SOFIA_VERSION_STRING; }
+
+}  // namespace sofia

@@ -1,0 +1,12 @@
+// Build identity for the reproduction: the project version is injected by
+// CMake (src/support/CMakeLists.txt) so binaries and tests can report which
+// tree they were built from.
+#pragma once
+
+namespace sofia {
+
+/// Semantic version of the sofia tree, e.g. "0.1.0". Never null; reads
+/// "0.0.0-unbuilt" when compiled outside the CMake build.
+const char* version_string();
+
+}  // namespace sofia

@@ -1,0 +1,56 @@
+// Tests for the shared measurement harness (src/support/measure.hpp) that
+// the benches and sofia_report build on — the overhead arithmetic and one
+// real vanilla-vs-SOFIA measurement round trip.
+#include <gtest/gtest.h>
+
+#include "support/measure.hpp"
+
+namespace {
+
+using namespace sofia;
+
+TEST(Measure, OverheadArithmetic) {
+  bench::Measurement m;
+  m.vanilla_text_bytes = 100;
+  m.sofia_text_bytes = 250;
+  m.vanilla_cycles = 1000;
+  m.sofia_cycles = 1500;
+  EXPECT_DOUBLE_EQ(m.size_ratio(), 2.5);
+  EXPECT_DOUBLE_EQ(m.cycle_overhead_pct(), 50.0);
+}
+
+TEST(Measure, TimeOverheadUsesHwClocks) {
+  bench::Measurement m;
+  m.vanilla_cycles = 1000;
+  m.sofia_cycles = 1000;
+  // Equal cycle counts: the whole execution-time overhead is the clock
+  // ratio of the hardware model (92.3 MHz vanilla vs the SOFIA clock).
+  const hw::HwModel model;
+  const double expected = hw::overhead_pct(model.sofia(2).clock_mhz,
+                                           model.vanilla().clock_mhz);
+  EXPECT_NEAR(m.time_overhead_pct(model, 2), expected, 1e-9);
+}
+
+TEST(Measure, DefaultOptionsArePairGranular) {
+  EXPECT_EQ(bench::default_measure_options().transform.granularity,
+            crypto::Granularity::kPerPair);
+}
+
+TEST(Measure, WorkloadRoundTrip) {
+  const auto m = bench::measure_workload(workloads::workload("fib"), 1, 8);
+  EXPECT_EQ(m.name, "fib");
+  // SOFIA always costs something: bigger text, more cycles.
+  EXPECT_GT(m.sofia_text_bytes, m.vanilla_text_bytes);
+  EXPECT_GT(m.sofia_cycles, m.vanilla_cycles);
+  EXPECT_GT(m.cycle_overhead_pct(), 0.0);
+}
+
+TEST(Measure, MismatchThrows) {
+  // A golden model that cannot match the program output must throw rather
+  // than report numbers for a broken run.
+  auto spec = workloads::workload("fib");
+  spec.golden = [](std::uint64_t, std::uint32_t) { return std::string("bogus"); };
+  EXPECT_THROW(bench::measure_workload(spec, 1, 8), Error);
+}
+
+}  // namespace

@@ -8,8 +8,11 @@
 #include <fstream>
 #include <string>
 
-#ifndef SOFIA_ASM_BIN
-#error "tool paths must be defined by the build"
+#if !defined(SOFIA_ASM_BIN) || !defined(SOFIA_RUN_BIN) || \
+    !defined(SOFIA_OBJDUMP_BIN) || !defined(SOFIA_REPORT_BIN)
+#error "SOFIA_ASM_BIN / SOFIA_RUN_BIN / SOFIA_OBJDUMP_BIN / SOFIA_REPORT_BIN \
+must be injected by the build: configure with -DSOFIA_BUILD_TOOLS=ON so \
+tests/CMakeLists.txt can define them from $<TARGET_FILE:...>"
 #endif
 
 namespace {

@@ -1,0 +1,40 @@
+// Build smoke test: verifies the CMake glue itself — that the library was
+// compiled from this tree (version injection), under the C++ standard the
+// root CMakeLists demands.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <string>
+
+#include "support/version.hpp"
+
+#ifndef SOFIA_EXPECTED_VERSION
+#error "SOFIA_EXPECTED_VERSION must be defined by tests/CMakeLists.txt"
+#endif
+
+namespace {
+
+TEST(Version, MatchesProjectVersion) {
+  EXPECT_STREQ(sofia::version_string(), SOFIA_EXPECTED_VERSION);
+}
+
+TEST(Version, LooksSemantic) {
+  const std::string v = sofia::version_string();
+  ASSERT_FALSE(v.empty());
+  EXPECT_TRUE(std::isdigit(static_cast<unsigned char>(v.front()))) << v;
+  EXPECT_EQ(std::count(v.begin(), v.end(), '.'), 2) << v;
+  EXPECT_EQ(v.find("unbuilt"), std::string::npos)
+      << "library compiled outside the CMake build";
+}
+
+TEST(Version, BuiltAsCxx20) {
+#if defined(_MSVC_LANG)
+  // MSVC keeps __cplusplus at 199711L unless /Zc:__cplusplus is passed.
+  EXPECT_GE(_MSVC_LANG, 202002L);
+#else
+  EXPECT_GE(__cplusplus, 202002L);
+#endif
+}
+
+}  // namespace

@@ -8,9 +8,9 @@
 #include <cstdio>
 #include <cstring>
 
-#include "bench/bench_util.hpp"
 #include "security/attacks.hpp"
 #include "security/forgery.hpp"
+#include "support/measure.hpp"
 
 int main(int argc, char** argv) {
   using namespace sofia;
