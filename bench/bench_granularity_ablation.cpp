@@ -1,51 +1,57 @@
 // E9 — keystream granularity: Alg. 1's per-word CTR (finest CFI, one
 // cipher op per instruction word) vs the §III hardware's per-pair CTR (one
 // op per 64-bit pair). Also contrasts the strict-alternation engine with a
-// demand-driven one.
+// demand-driven one. The 4-config × all-workloads matrix comes from the
+// sweep driver; this binary aggregates per configuration.
+#include <algorithm>
 #include <cstdio>
+#include <thread>
+#include <vector>
 
-#include "support/measure.hpp"
+#include "driver/sweep.hpp"
 
 int main() {
   using namespace sofia;
+  const auto spec = driver::matrix("granularity");
+  const auto result = driver::run_sweep(
+      spec, std::max(1u, std::thread::hardware_concurrency()));
+  if (!result.all_ok()) {
+    for (const auto& job : result.jobs)
+      if (!job.ok)
+        std::fprintf(stderr, "%s / %s failed: %s\n", job.job.workload.c_str(),
+                     job.job.config.name.c_str(), job.error.c_str());
+    return 1;
+  }
+
+  // Aggregate cycles and CTR ops per configuration; the vanilla baseline is
+  // shared (the vanilla core ignores every swept cipher axis).
+  struct Totals {
+    std::uint64_t cycles = 0;
+    std::uint64_t ctr = 0;
+  };
+  const std::size_t n_configs = spec.configs.size();
+  std::vector<Totals> per_config(n_configs);  // config order within the spec
+  std::uint64_t vanilla_total = 0;
+  for (const auto& job : result.jobs) {
+    const std::size_t c = job.job.index % n_configs;
+    per_config[c].cycles += job.m.sofia_cycles;
+    per_config[c].ctr += job.m.sofia_stats.ctr_ops;
+    if (c == 0) vanilla_total += job.m.vanilla_cycles;
+  }
+
   std::printf("CTR granularity / engine policy ablation (all workloads)\n");
   bench::print_rule(92);
   std::printf("%-34s | %12s %12s | %10s\n", "configuration", "cycles", "cyc ovh%",
               "CTR ops");
   bench::print_rule(92);
-  struct Config {
-    const char* name;
-    crypto::Granularity gran;
-    bool alternate;
-  };
-  const Config configs[] = {
-      {"per-pair, alternating (paper)", crypto::Granularity::kPerPair, true},
-      {"per-pair, demand-driven", crypto::Granularity::kPerPair, false},
-      {"per-word, alternating (Alg.1)", crypto::Granularity::kPerWord, true},
-      {"per-word, demand-driven", crypto::Granularity::kPerWord, false},
-  };
-  // Vanilla baseline for the overhead column.
-  std::uint64_t vanilla_total = 0;
-  for (const auto& spec : workloads::all_workloads()) {
-    const auto m = bench::measure_workload(spec, 1, spec.default_size / 2);
-    vanilla_total += m.vanilla_cycles;
-  }
-  for (const auto& c : configs) {
-    std::uint64_t cycles = 0;
-    std::uint64_t ctr = 0;
-    for (const auto& spec : workloads::all_workloads()) {
-      auto opts = bench::default_measure_options();
-      opts.transform.granularity = c.gran;
-      opts.config.cipher.alternate = c.alternate;
-      const auto m = bench::measure_workload(spec, 1, spec.default_size / 2, opts);
-      cycles += m.sofia_cycles;
-      ctr += m.sofia_stats.ctr_ops;
-    }
-    std::printf("%-34s | %12llu %+11.1f%% | %10llu\n", c.name,
-                static_cast<unsigned long long>(cycles),
+  for (std::size_t c = 0; c < n_configs; ++c) {
+    const auto& totals = per_config[c];
+    std::printf("%-34s | %12llu %+11.1f%% | %10llu\n",
+                spec.configs[c].name.c_str(),
+                static_cast<unsigned long long>(totals.cycles),
                 hw::overhead_pct(static_cast<double>(vanilla_total),
-                                 static_cast<double>(cycles)),
-                static_cast<unsigned long long>(ctr));
+                                 static_cast<double>(totals.cycles)),
+                static_cast<unsigned long long>(totals.ctr));
   }
   bench::print_rule(92);
   std::printf("Per-word doubles CTR work per block (8 vs 4 ops) and throttles the\n"

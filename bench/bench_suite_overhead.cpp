@@ -1,13 +1,20 @@
 // E12 — whole-suite overhead (extension beyond the paper's single ADPCM
 // benchmark): code size, cycles and modelled total execution time for every
-// workload under the paper-default configuration.
+// workload under the paper-default configuration. The measurement matrix
+// runs on the driver's thread pool; this binary only formats the table.
+#include <algorithm>
 #include <cstdio>
+#include <thread>
 
-#include "support/measure.hpp"
+#include "driver/sweep.hpp"
 
 int main() {
   using namespace sofia;
   const hw::HwModel model;
+  const auto spec = driver::matrix("suite-overhead");
+  const auto result = driver::run_sweep(
+      spec, std::max(1u, std::thread::hardware_concurrency()));
+
   std::printf("Suite overhead — paper-default policy, per-pair CTR, 2-cycle cipher\n");
   bench::print_rule(104);
   std::printf("%-14s %8s %8s %6s | %10s %10s %8s | %8s | %6s\n", "workload",
@@ -18,8 +25,13 @@ int main() {
   double sum_cyc = 0;
   double sum_time = 0;
   int n = 0;
-  for (const auto& spec : workloads::all_workloads()) {
-    const auto m = bench::measure_workload(spec, /*seed=*/1, spec.default_size);
+  for (const auto& job : result.jobs) {
+    if (!job.ok) {
+      std::printf("%-14s FAILED: %s\n", job.job.workload.c_str(),
+                  job.error.c_str());
+      continue;
+    }
+    const auto& m = job.m;
     const double pad_pct =
         100.0 * static_cast<double>(m.sofia_stats.nops) /
         static_cast<double>(m.sofia_stats.insts);
@@ -35,10 +47,11 @@ int main() {
     ++n;
   }
   bench::print_rule(104);
-  std::printf("%-14s %8s %8s %6.2f | %10s %10s %+7.1f%% | %+7.1f%% |\n", "mean",
-              "", "", sum_ratio / n, "", "", sum_cyc / n, sum_time / n);
+  if (n > 0)
+    std::printf("%-14s %8s %8s %6.2f | %10s %10s %+7.1f%% | %+7.1f%% |\n", "mean",
+                "", "", sum_ratio / n, "", "", sum_cyc / n, sum_time / n);
   std::printf("\npaper (ADPCM only): text 2.41x, cycles +13.7%%, time +110%% — see\n"
               "bench_runlength_sensitivity for why branchy SR32 code pads more\n"
-              "than SPARC compiler output.\n");
-  return 0;
+              "than SPARC compiler output. JSON form: sofia_sweep --json out.json\n");
+  return result.all_ok() ? 0 : 1;
 }

@@ -4,6 +4,7 @@ namespace sofia::crypto {
 
 std::uint64_t cbc_mac64(const BlockCipher64& cipher,
                         std::span<const std::uint32_t> words) {
+  if (words.empty()) return 0;
   std::uint64_t chain = 0;
   std::size_t i = 0;
   while (i < words.size()) {
@@ -12,7 +13,14 @@ std::uint64_t cbc_mac64(const BlockCipher64& cipher,
     chain = cipher.encrypt(chain ^ block);
     i += 2;
   }
-  return chain;
+  // Length strengthening: the word count is chained through one final
+  // cipher call of its own. Folding it into the last *data* block instead
+  // is cancellable — {w} and {w, x} collide whenever x == len ^ (len+1) —
+  // because that block also carries message words; a dedicated length
+  // block makes the length contribution independent of the data, so
+  // messages differing only in zero padding ({w} vs {w, 0}) or trailing
+  // words can no longer share a tag.
+  return cipher.encrypt(chain ^ static_cast<std::uint64_t>(words.size()));
 }
 
 }  // namespace sofia::crypto

@@ -14,8 +14,10 @@ namespace sofia::crypto {
 
 /// 64-bit CBC-MAC tag with zero IV. Words are paired little-endian-first:
 /// block_i = words[2i] | words[2i+1] << 32; an odd trailing word is
-/// zero-padded (fixed, length-preserving padding — safe because each key
-/// only ever authenticates one message length).
+/// zero-padded, and the word count is chained through a dedicated final
+/// cipher call so the zero padding cannot make {w} and {w, 0} (or any
+/// trailing-word variant) collide. An empty message has no blocks and
+/// keeps the zero chain.
 std::uint64_t cbc_mac64(const BlockCipher64& cipher,
                         std::span<const std::uint32_t> words);
 

@@ -1,0 +1,320 @@
+#include "driver/sweep.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+#include "support/json.hpp"
+
+namespace sofia::driver {
+
+namespace {
+
+std::string bool01(bool b) { return b ? "1" : "0"; }
+
+}  // namespace
+
+std::string ConfigPoint::fingerprint() const {
+  const auto& t = opts.transform;
+  const auto& c = opts.config;
+  std::string fp;
+  fp += "gran=";
+  fp += crypto::to_string(t.granularity);
+  fp += " alt=" + bool01(c.cipher.alternate);
+  fp += " pipe=" + bool01(c.cipher.pipelined);
+  fp += " lat=" + std::to_string(c.cipher.latency);
+  fp += " policy=" + std::to_string(t.policy.words_per_block) + "/" +
+        std::to_string(t.policy.store_min_word);
+  fp += " cipher=";
+  fp += crypto::to_string(opts.cipher_kind);
+  fp += " icache=" + std::to_string(c.icache.size_bytes) + "x" +
+        std::to_string(c.icache.line_bytes);
+  fp += " unroll=" + std::to_string(unroll_cycles);
+  return fp;
+}
+
+ConfigPoint paper_default_config() {
+  ConfigPoint p;
+  p.name = "paper-default";
+  p.opts = bench::default_measure_options();
+  p.unroll_cycles = 2;
+  return p;
+}
+
+std::vector<std::string> SweepSpec::resolved_workloads() const {
+  if (!workloads.empty()) return workloads;
+  std::vector<std::string> names;
+  for (const auto& spec : workloads::all_workloads()) names.push_back(spec.name);
+  return names;
+}
+
+std::vector<JobSpec> expand_jobs(const SweepSpec& spec) {
+  std::vector<JobSpec> jobs;
+  for (const auto& name : spec.resolved_workloads()) {
+    const auto& wl = workloads::workload(name);  // throws for unknown names
+    std::uint32_t size = spec.size_override ? spec.size_override : wl.default_size;
+    size = std::max(4u, size / std::max(1u, spec.size_divisor));
+    for (const auto& config : spec.configs) {
+      JobSpec job;
+      job.index = jobs.size();
+      job.workload = name;
+      job.size = size;
+      job.seed = spec.vary_seed ? spec.base_seed + job.index : spec.base_seed;
+      job.config = config;
+      jobs.push_back(std::move(job));
+    }
+  }
+  return jobs;
+}
+
+bool SweepResult::all_ok() const {
+  return std::all_of(jobs.begin(), jobs.end(),
+                     [](const JobResult& r) { return r.ok; });
+}
+
+namespace {
+
+JobResult run_job(const JobSpec& job) {
+  JobResult result;
+  result.job = job;
+  try {
+    result.m = bench::measure_workload(workloads::workload(job.workload),
+                                       job.seed, job.size, job.config.opts);
+    result.ok = true;
+  } catch (const std::exception& e) {
+    result.error = e.what();
+  }
+  return result;
+}
+
+}  // namespace
+
+SweepResult run_sweep(const SweepSpec& spec, unsigned threads,
+                      const ProgressFn& progress) {
+  const auto jobs = expand_jobs(spec);
+  SweepResult result;
+  result.sweep_name = spec.name;
+  result.jobs.resize(jobs.size());
+
+  const auto max_threads =
+      static_cast<unsigned>(std::max<std::size_t>(jobs.size(), 1));
+  threads = std::clamp(threads, 1u, max_threads);
+  result.threads_used = threads;
+  const auto t0 = std::chrono::steady_clock::now();
+
+  // Work-stealing by atomic index: each worker claims the next unclaimed
+  // job and writes its result into the job's own slot, so the output order
+  // (and the JSON rendered from it) never depends on thread interleaving.
+  std::atomic<std::size_t> next{0};
+  std::mutex progress_mutex;
+  const auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= jobs.size()) return;
+      result.jobs[i] = run_job(jobs[i]);
+      if (progress) {
+        const std::lock_guard<std::mutex> lock(progress_mutex);
+        progress(result.jobs[i]);
+      }
+    }
+  };
+
+  if (threads == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (auto& t : pool) t.join();
+  }
+
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return result;
+}
+
+std::string to_json(const SweepResult& result) {
+  const hw::HwModel model;
+  json::Writer w(2);
+  w.begin_object();
+  w.member("schema", "sofia-sweep-v1");
+  w.member("sweep", result.sweep_name);
+  w.member("job_count", static_cast<std::uint64_t>(result.jobs.size()));
+  w.key("jobs").begin_array();
+  for (const auto& r : result.jobs) {
+    w.begin_object();
+    w.member("workload", r.job.workload);
+    w.member("config", r.job.config.name);
+    w.member("fingerprint", r.job.config.fingerprint());
+    w.member("seed", r.job.seed);
+    w.member("size", r.job.size);
+    w.member("ok", r.ok);
+    if (!r.ok) {
+      w.member("error", r.error);
+    } else {
+      w.key("vanilla").begin_object();
+      w.member("cycles", r.m.vanilla_cycles);
+      w.member("text_bytes", r.m.vanilla_text_bytes);
+      w.end_object();
+      w.key("sofia").begin_object();
+      w.member("cycles", r.m.sofia_cycles);
+      w.member("text_bytes", r.m.sofia_text_bytes);
+      w.member("nops", r.m.sofia_stats.nops);
+      w.member("ctr_ops", r.m.sofia_stats.ctr_ops);
+      w.member("cbc_ops", r.m.sofia_stats.cbc_ops);
+      w.member("icache_misses", r.m.sofia_stats.icache_misses);
+      w.end_object();
+      w.key("overhead").begin_object();
+      w.member("size_ratio", r.m.size_ratio());
+      w.member("cycles_pct", r.m.cycle_overhead_pct());
+      w.member("time_pct", r.m.time_overhead_pct(model, r.job.config.unroll_cycles));
+      w.end_object();
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  std::string doc = w.str();
+  doc += '\n';
+  return doc;
+}
+
+// ---------------------------------------------------------------------------
+// Built-in matrices
+// ---------------------------------------------------------------------------
+
+namespace {
+
+SweepSpec suite_overhead_matrix() {
+  SweepSpec spec;
+  spec.name = "suite-overhead";
+  spec.configs = {paper_default_config()};
+  return spec;
+}
+
+SweepSpec granularity_matrix() {
+  SweepSpec spec;
+  spec.name = "granularity";
+  spec.size_divisor = 2;  // the ablation's historical working set
+  const struct {
+    const char* name;
+    crypto::Granularity gran;
+    bool alternate;
+  } points[] = {
+      {"per-pair alternating (paper)", crypto::Granularity::kPerPair, true},
+      {"per-pair demand-driven", crypto::Granularity::kPerPair, false},
+      {"per-word alternating (Alg.1)", crypto::Granularity::kPerWord, true},
+      {"per-word demand-driven", crypto::Granularity::kPerWord, false},
+  };
+  for (const auto& p : points) {
+    ConfigPoint c = paper_default_config();
+    c.name = p.name;
+    c.opts.transform.granularity = p.gran;
+    c.opts.config.cipher.alternate = p.alternate;
+    spec.configs.push_back(std::move(c));
+  }
+  return spec;
+}
+
+SweepSpec blockpolicy_matrix() {
+  SweepSpec spec;
+  spec.name = "blockpolicy";
+  spec.size_divisor = 2;
+  ConfigPoint paper = paper_default_config();
+  paper.name = "8-word block, stores>=4 (paper)";
+  ConfigPoint small = paper_default_config();
+  small.name = "6-word block, unrestricted (Fig.5)";
+  small.opts.transform.policy = xform::BlockPolicy::small_unrestricted();
+  spec.configs = {paper, small};
+  return spec;
+}
+
+SweepSpec cipher_matrix() {
+  SweepSpec spec;
+  spec.name = "cipher";
+  spec.size_divisor = 2;
+  ConfigPoint rect = paper_default_config();
+  rect.name = "RECTANGLE-80 (paper)";
+  ConfigPoint speck = paper_default_config();
+  speck.name = "SPECK-64/128";
+  speck.opts.cipher_kind = crypto::CipherKind::kSpeck64_128;
+  spec.configs = {rect, speck};
+  return spec;
+}
+
+SweepSpec icache_matrix() {
+  SweepSpec spec;
+  spec.name = "icache";
+  spec.workloads = {"adpcm_encode", "adpcm_decode"};
+  spec.size_override = 1024;
+  for (const std::uint32_t bytes : {128u, 256u, 512u, 1024u, 2048u, 4096u}) {
+    ConfigPoint c = paper_default_config();
+    c.name = std::to_string(bytes) + " B I-cache";
+    c.opts.config.icache.size_bytes = bytes;
+    spec.configs.push_back(std::move(c));
+  }
+  return spec;
+}
+
+SweepSpec unroll_matrix() {
+  SweepSpec spec;
+  spec.name = "unroll";
+  spec.workloads = {"adpcm_encode"};
+  spec.size_override = 4096;
+  for (const int unroll : {1, 2, 4, 7, 13, 26}) {
+    ConfigPoint c = paper_default_config();
+    c.name = std::to_string(unroll) + "-cycle cipher" +
+             (unroll == 2 ? " (paper)" : "");
+    c.unroll_cycles = unroll;
+    c.opts.config.cipher.latency = static_cast<std::uint32_t>(unroll);
+    // Deep (many-cycle) cipher datapaths are iterative, not pipelined.
+    c.opts.config.cipher.pipelined = unroll <= 2;
+    spec.configs.push_back(std::move(c));
+  }
+  return spec;
+}
+
+using MatrixFn = SweepSpec (*)();
+
+const std::vector<std::pair<std::string, MatrixFn>>& matrix_registry() {
+  static const std::vector<std::pair<std::string, MatrixFn>> registry = {
+      {"suite-overhead", suite_overhead_matrix},
+      {"granularity", granularity_matrix},
+      {"blockpolicy", blockpolicy_matrix},
+      {"cipher", cipher_matrix},
+      {"icache", icache_matrix},
+      {"unroll", unroll_matrix},
+  };
+  return registry;
+}
+
+}  // namespace
+
+const std::vector<std::string>& matrix_names() {
+  static const std::vector<std::string> names = [] {
+    std::vector<std::string> out;
+    for (const auto& [name, fn] : matrix_registry()) out.push_back(name);
+    return out;
+  }();
+  return names;
+}
+
+SweepSpec matrix(std::string_view name) {
+  for (const auto& [reg_name, fn] : matrix_registry())
+    if (reg_name == name) return fn();
+  throw Error("unknown sweep matrix '" + std::string(name) +
+              "' (see sofia_sweep --list)");
+}
+
+SweepSpec smoke(SweepSpec spec) {
+  spec.name += "-smoke";
+  spec.workloads = {"fib", "crc32", "bitcount"};
+  spec.size_override = 0;
+  spec.size_divisor = 16;
+  return spec;
+}
+
+}  // namespace sofia::driver

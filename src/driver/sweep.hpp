@@ -1,0 +1,112 @@
+// Parallel experiment-sweep driver: the one engine behind sofia_sweep,
+// sofia_report and the bench binaries that used to hand-roll the same
+// workload × configuration loop. A SweepSpec names a cartesian matrix of
+// workloads × ConfigPoints (transform options + SimConfig variants), which
+// expands into a deterministic, index-ordered job list; run_sweep() executes
+// the jobs on a std::thread pool and collects Measurements back in job
+// order. Per-job seeds are a pure function of the job index, so results —
+// and the JSON document to_json() renders — are byte-identical for any
+// thread count.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "support/measure.hpp"
+
+namespace sofia::driver {
+
+/// One configuration cell of the matrix: everything measure_workload needs
+/// plus the cipher-unroll factor the hardware time model uses.
+struct ConfigPoint {
+  std::string name;  ///< short label, e.g. "per-word demand-driven"
+  bench::MeasureOptions opts;
+  int unroll_cycles = 2;  ///< hw::HwModel::sofia() design point
+
+  /// Stable machine-readable fingerprint of every swept axis
+  /// ("gran=per-pair alt=1 pipe=1 policy=8/4 cipher=RECTANGLE-80
+  /// icache=4096x32 unroll=2").
+  std::string fingerprint() const;
+};
+
+/// The paper-default configuration (pair-granular CTR, alternating 2-cycle
+/// pipelined cipher, 4 KiB I-cache).
+ConfigPoint paper_default_config();
+
+struct SweepSpec {
+  std::string name;                     ///< matrix name, lands in the JSON
+  std::vector<std::string> workloads;   ///< registry names; empty = all
+  std::vector<ConfigPoint> configs;     ///< at least one
+  std::uint32_t size_override = 0;      ///< 0 = each workload's default_size
+  /// Divide workload sizes by this factor (sofia_sweep --smoke and the
+  /// ablation benches use it); sizes are clamped to >= 4.
+  std::uint32_t size_divisor = 1;
+  std::uint64_t base_seed = 1;
+  /// When true, job i runs with seed base_seed + i (a pure function of the
+  /// job index, independent of thread interleaving). When false every job
+  /// uses base_seed — the mode for reproducing the paper's fixed-input
+  /// numbers.
+  bool vary_seed = false;
+
+  /// All workload names resolved (expands the empty-means-all shorthand).
+  std::vector<std::string> resolved_workloads() const;
+};
+
+/// One expanded cell: workloads-major, configs-minor, in spec order.
+struct JobSpec {
+  std::size_t index = 0;
+  std::string workload;
+  std::uint32_t size = 0;
+  std::uint64_t seed = 0;
+  ConfigPoint config;
+};
+
+/// Deterministic matrix expansion (also fixes each job's seed).
+std::vector<JobSpec> expand_jobs(const SweepSpec& spec);
+
+struct JobResult {
+  JobSpec job;
+  bool ok = false;
+  std::string error;       ///< what() of the failure when !ok
+  bench::Measurement m;    ///< valid only when ok
+};
+
+struct SweepResult {
+  std::string sweep_name;
+  std::vector<JobResult> jobs;  ///< in job-index order, one per matrix cell
+  double wall_seconds = 0;      ///< measured, NOT part of the JSON document
+  unsigned threads_used = 1;    ///< ditto
+
+  bool all_ok() const;
+};
+
+/// Called after each job completes (serialized by the driver; safe to
+/// print from). Jobs may finish out of index order.
+using ProgressFn = std::function<void(const JobResult&)>;
+
+/// Execute the matrix on `threads` worker threads (clamped to [1, jobs]).
+/// A job failure (functional mismatch, transform error) is captured in its
+/// JobResult, never thrown — one broken cell must not sink a whole sweep.
+SweepResult run_sweep(const SweepSpec& spec, unsigned threads,
+                      const ProgressFn& progress = {});
+
+/// Render the sweep as a deterministic JSON document (schema documented in
+/// the README): sweep name + one record per job with the config
+/// fingerprint, cycle/text numbers and overhead percentages. Wall-clock
+/// and thread count are deliberately excluded so documents are
+/// byte-identical across thread counts.
+std::string to_json(const SweepResult& result);
+
+/// Built-in matrices, selectable as sofia_sweep --matrix NAME.
+const std::vector<std::string>& matrix_names();
+
+/// Look up a built-in matrix; throws sofia::Error for unknown names.
+SweepSpec matrix(std::string_view name);
+
+/// Shrink a spec to a seconds-long smoke run (three small workloads,
+/// reduced sizes) while keeping its config axes.
+SweepSpec smoke(SweepSpec spec);
+
+}  // namespace sofia::driver

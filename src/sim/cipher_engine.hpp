@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 
 #include "sim/config.hpp"
 
@@ -26,6 +27,10 @@ class CipherEngine {
       // implicit (one shared resource).
       if (start < next_any_slot_) start = next_any_slot_;
       next_any_slot_ = start + timing_.latency;
+      // Remember start cycles so flush() can tell an in-flight op (which
+      // must drain) from queued ones (which a redirect drops).
+      iter_starts_.push_back(start);
+      prune_iter_history();
       return start + timing_.latency;
     }
     if (timing_.alternate) {
@@ -44,16 +49,54 @@ class CipherEngine {
     return start + timing_.latency;
   }
 
-  /// Drop queued work (fetch redirect).
+  /// Drop queued work (fetch redirect). Pipelined slots free immediately —
+  /// squashed ops simply drain out of the stage registers — but an
+  /// iterative instance that already started an op is occupied until that
+  /// op completes: the flush must not rewind next_any_slot_ below its
+  /// finish cycle, or a post-redirect op would start on busy hardware.
   void flush(std::uint64_t cycle) {
     next_class_slot_[0] = next_class_slot_[1] = cycle;
-    next_any_slot_ = cycle;
+    if (timing_.pipelined) {
+      next_any_slot_ = cycle;
+      return;
+    }
+    if (cycle > last_flush_cycle_) last_flush_cycle_ = cycle;
+    std::uint64_t busy_until = cycle;
+    std::uint64_t in_flight_start = 0;
+    bool in_flight = false;
+    for (const std::uint64_t start : iter_starts_) {
+      if (start <= cycle && cycle < start + timing_.latency) {
+        busy_until = start + timing_.latency;
+        in_flight_start = start;
+        in_flight = true;
+      }
+    }
+    next_any_slot_ = busy_until;
+    iter_starts_.clear();
+    // Keep the draining op visible to a second flush before its finish.
+    if (in_flight) iter_starts_.push_back(in_flight_start);
   }
 
  private:
+  void prune_iter_history() {
+    // Redirect cycles are monotone within a run, so an op that finished at
+    // or before the last flush can never be in flight at a future one.
+    while (!iter_starts_.empty() &&
+           iter_starts_.front() + timing_.latency <= last_flush_cycle_)
+      iter_starts_.pop_front();
+    // Memory backstop for long redirect-free stretches. Evicting the
+    // oldest entries can only make a much later flush slightly optimistic
+    // (the evicted op would almost certainly have drained by then).
+    while (iter_starts_.size() > kIterHistory) iter_starts_.pop_front();
+  }
+
+  static constexpr std::size_t kIterHistory = 256;
+
   CipherTiming timing_;
   std::uint64_t next_class_slot_[2] = {0, 0};
   std::uint64_t next_any_slot_ = 0;
+  std::uint64_t last_flush_cycle_ = 0;
+  std::deque<std::uint64_t> iter_starts_;  ///< iterative-mode op start cycles
 };
 
 }  // namespace sofia::sim

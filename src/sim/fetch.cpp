@@ -81,6 +81,10 @@ void SofiaFetch::redirect(std::uint32_t target, std::uint32_t from_pc,
                           std::uint64_t cycle) {
   staged_.clear();
   waiting_ = false;
+  // The squashed block's queued cipher work is dropped; an in-flight
+  // iterative op keeps the engine busy until it drains (see
+  // CipherEngine::flush).
+  engine_.flush(cycle);
   process_block(target / 4, from_pc / 4, cycle);
 }
 

@@ -1,0 +1,135 @@
+#include "support/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace sofia::json {
+
+std::string escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void Writer::newline_indent() {
+  if (indent_ < 0) return;
+  out_ += '\n';
+  out_.append(stack_.size() * static_cast<std::size_t>(indent_), ' ');
+}
+
+void Writer::before_value() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;
+  }
+  if (stack_.empty()) return;
+  if (stack_.back().has_items) out_ += ',';
+  newline_indent();
+  stack_.back().has_items = true;
+}
+
+Writer& Writer::begin_object() {
+  before_value();
+  out_ += '{';
+  stack_.push_back({false, false});
+  return *this;
+}
+
+Writer& Writer::begin_array() {
+  before_value();
+  out_ += '[';
+  stack_.push_back({true, false});
+  return *this;
+}
+
+Writer& Writer::end_object() {
+  const bool had_items = stack_.back().has_items;
+  stack_.pop_back();
+  if (had_items) newline_indent();
+  out_ += '}';
+  return *this;
+}
+
+Writer& Writer::end_array() {
+  const bool had_items = stack_.back().has_items;
+  stack_.pop_back();
+  if (had_items) newline_indent();
+  out_ += ']';
+  return *this;
+}
+
+Writer& Writer::key(std::string_view name) {
+  if (stack_.back().has_items) out_ += ',';
+  newline_indent();
+  stack_.back().has_items = true;
+  out_ += '"';
+  out_ += escape(name);
+  out_ += indent_ < 0 ? "\":" : "\": ";
+  pending_key_ = true;
+  return *this;
+}
+
+Writer& Writer::value(std::string_view s) {
+  before_value();
+  out_ += '"';
+  out_ += escape(s);
+  out_ += '"';
+  return *this;
+}
+
+Writer& Writer::value(bool b) {
+  before_value();
+  out_ += b ? "true" : "false";
+  return *this;
+}
+
+Writer& Writer::value(std::int64_t n) {
+  before_value();
+  out_ += std::to_string(n);
+  return *this;
+}
+
+Writer& Writer::value(std::uint64_t n) {
+  before_value();
+  out_ += std::to_string(n);
+  return *this;
+}
+
+Writer& Writer::value(double d) {
+  before_value();
+  if (!std::isfinite(d)) {
+    out_ += "null";
+    return *this;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.10g", d);
+  out_ += buf;
+  return *this;
+}
+
+Writer& Writer::null() {
+  before_value();
+  out_ += "null";
+  return *this;
+}
+
+}  // namespace sofia::json

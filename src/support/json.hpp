@@ -1,0 +1,69 @@
+// Minimal streaming JSON writer for machine-readable experiment results
+// (driver/sweep emits BENCH_sweep.json-style documents with it). Emission
+// is fully deterministic — keys appear in call order and numbers are
+// formatted by fixed rules — so two runs of the same experiment produce
+// byte-identical documents regardless of thread interleaving. Writing only:
+// the repo never parses JSON, so no reader lives here.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sofia::json {
+
+/// Escape a string for use inside JSON quotes (no surrounding quotes).
+std::string escape(std::string_view s);
+
+class Writer {
+ public:
+  /// indent < 0 emits a compact single-line document; indent >= 0 pretty-
+  /// prints with that many spaces per nesting level.
+  explicit Writer(int indent = 2) : indent_(indent) {}
+
+  Writer& begin_object();
+  Writer& end_object();
+  Writer& begin_array();
+  Writer& end_array();
+
+  /// Start an object member; must be followed by a value or begin_*.
+  Writer& key(std::string_view name);
+
+  Writer& value(std::string_view s);
+  Writer& value(const char* s) { return value(std::string_view(s)); }
+  Writer& value(bool b);
+  Writer& value(std::int64_t n);
+  Writer& value(std::uint64_t n);
+  Writer& value(std::uint32_t n) { return value(static_cast<std::uint64_t>(n)); }
+  Writer& value(int n) { return value(static_cast<std::int64_t>(n)); }
+  /// Doubles use %.10g: enough digits for the repo's ratios/percentages and
+  /// deterministic for identical inputs. Non-finite values become null.
+  Writer& value(double d);
+  Writer& null();
+
+  /// key(name) + value(v) in one call.
+  template <typename T>
+  Writer& member(std::string_view name, T v) {
+    key(name);
+    return value(v);
+  }
+
+  /// The document so far. Call after the outermost end_* for a full document.
+  const std::string& str() const { return out_; }
+
+ private:
+  void before_value();
+  void newline_indent();
+
+  struct Scope {
+    bool array = false;
+    bool has_items = false;
+  };
+  std::string out_;
+  std::vector<Scope> stack_;
+  int indent_;
+  bool pending_key_ = false;
+};
+
+}  // namespace sofia::json

@@ -52,6 +52,8 @@ struct Measurement {
 struct MeasureOptions {
   xform::Options transform;
   sim::SimConfig config;  ///< keys/policy filled in by measure()
+  /// Cipher used for the SOFIA keys (the paper measures RECTANGLE-80).
+  crypto::CipherKind cipher_kind = crypto::CipherKind::kRectangle80;
 };
 
 inline MeasureOptions default_measure_options() {
@@ -82,7 +84,7 @@ inline Measurement measure_workload(const workloads::WorkloadSpec& spec,
   m.vanilla_cycles = vres.stats.cycles;
   m.vanilla_stats = vres.stats;
 
-  const auto keys = bench_keys();
+  const auto keys = crypto::KeySet::example(opts.cipher_kind);
   const auto result = xform::transform(prog, keys, opts.transform);
   sim::SimConfig sconfig = opts.config;
   sconfig.keys = keys;

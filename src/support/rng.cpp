@@ -1,6 +1,7 @@
 #include "support/rng.hpp"
 
 #include "support/bits.hpp"
+#include "support/error.hpp"
 
 namespace sofia {
 namespace {
@@ -35,6 +36,7 @@ std::uint64_t Rng::next_u64() {
 }
 
 std::uint64_t Rng::next_below(std::uint64_t bound) {
+  if (bound == 0) throw Error("Rng::next_below: bound must be > 0");
   // Rejection sampling to avoid modulo bias.
   const std::uint64_t threshold = (0 - bound) % bound;
   for (;;) {
@@ -44,8 +46,18 @@ std::uint64_t Rng::next_below(std::uint64_t bound) {
 }
 
 std::int64_t Rng::next_range(std::int64_t lo, std::int64_t hi) {
-  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
-  return lo + static_cast<std::int64_t>(next_below(span));
+  if (lo > hi)
+    throw Error("Rng::next_range: empty range [" + std::to_string(lo) + ", " +
+                std::to_string(hi) + "]");
+  // All width arithmetic in uint64: hi - lo overflows int64 for ranges
+  // wider than INT64_MAX (unsigned wrap-around is well defined and gives
+  // the true width mod 2^64).
+  const std::uint64_t span =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  // span wraps to 0 only for the full [INT64_MIN, INT64_MAX] range, where
+  // any 64-bit draw is uniform.
+  const std::uint64_t draw = span == 0 ? next_u64() : next_below(span);
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(lo) + draw);
 }
 
 double Rng::next_double() {

@@ -20,10 +20,11 @@ class Rng {
   /// Next 32 uniformly random bits.
   std::uint32_t next_u32() { return static_cast<std::uint32_t>(next_u64() >> 32); }
 
-  /// Uniform integer in [0, bound). bound must be > 0.
+  /// Uniform integer in [0, bound). Throws sofia::Error when bound == 0.
   std::uint64_t next_below(std::uint64_t bound);
 
-  /// Uniform integer in [lo, hi] inclusive.
+  /// Uniform integer in [lo, hi] inclusive. Throws sofia::Error when
+  /// lo > hi (an empty range).
   std::int64_t next_range(std::int64_t lo, std::int64_t hi);
 
   /// Uniform double in [0, 1).

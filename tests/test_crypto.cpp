@@ -233,15 +233,33 @@ TEST(CbcMac, MatchesManualChaining) {
   const std::uint32_t words[] = {0x11111111, 0x22222222, 0x33333333, 0x44444444};
   const std::uint64_t m0 = 0x2222222211111111ull;
   const std::uint64_t m1 = 0x4444444433333333ull;
-  const std::uint64_t expected = cipher->encrypt(cipher->encrypt(m0) ^ m1);
-  EXPECT_EQ(cbc_mac64(*cipher, words), expected);
+  // Data blocks chain as before; the word count is a final block of its own.
+  const std::uint64_t data_chain = cipher->encrypt(cipher->encrypt(m0) ^ m1);
+  EXPECT_EQ(cbc_mac64(*cipher, words), cipher->encrypt(data_chain ^ 4));
 }
 
-TEST(CbcMac, OddWordCountZeroPads) {
+TEST(CbcMac, ZeroPaddingDoesNotCollide) {
+  // Regression: plain zero padding made {w} and {w, 0} chain through the
+  // same final block and collide; the length block keeps them apart.
   const auto cipher = make_cipher(CipherKind::kSpeck64_128, make_key(1, 2));
+  const std::uint32_t one[] = {0xAAAAAAAA};
+  const std::uint32_t one_padded[] = {0xAAAAAAAA, 0};
+  EXPECT_NE(cbc_mac64(*cipher, one), cbc_mac64(*cipher, one_padded));
+
   const std::uint32_t odd[] = {0xAAAAAAAA, 0xBBBBBBBB, 0xCCCCCCCC};
   const std::uint32_t padded[] = {0xAAAAAAAA, 0xBBBBBBBB, 0xCCCCCCCC, 0};
-  EXPECT_EQ(cbc_mac64(*cipher, odd), cbc_mac64(*cipher, padded));
+  EXPECT_NE(cbc_mac64(*cipher, odd), cbc_mac64(*cipher, padded));
+}
+
+TEST(CbcMac, TrailingWordCannotCancelTheLengthBlock) {
+  // An in-block length fold would still let {w} collide with {w, x} for
+  // x == len ^ (len + 1); the dedicated length block is data-independent.
+  const auto cipher = make_cipher(CipherKind::kSpeck64_128, make_key(1, 2));
+  const std::uint32_t one[] = {0xAAAAAAAA};
+  for (const std::uint32_t x : {1u, 2u, 3u, 0xFFFFFFFFu}) {
+    const std::uint32_t two[] = {0xAAAAAAAA, x};
+    EXPECT_NE(cbc_mac64(*cipher, one), cbc_mac64(*cipher, two)) << x;
+  }
 }
 
 TEST(CbcMac, EmptyMessageIsZeroChain) {

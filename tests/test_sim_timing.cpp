@@ -2,6 +2,7 @@
 // store gating, engine policies, fetch-width configs, fault injection.
 #include <gtest/gtest.h>
 
+#include "sim/cipher_engine.hpp"
 #include "sim_test_util.hpp"
 
 namespace sofia::sim {
@@ -161,6 +162,79 @@ buf: .space 8
   EXPECT_GT(a.stats.store_gate_stalls, b.stats.store_gate_stalls);
   EXPECT_GE(a.stats.cycles, b.stats.cycles);
   EXPECT_EQ(a.output, b.output);
+}
+
+TEST(CipherEngineFlush, IterativeInFlightOpDrainsAcrossFlush) {
+  // Regression: flush() used to rewind next_any_slot_ to the flush cycle
+  // even while an iterative op occupied the instance, letting the first
+  // post-redirect op start on busy hardware.
+  CipherTiming timing;
+  timing.pipelined = false;
+  timing.latency = 8;
+  CipherEngine engine(timing);
+  EXPECT_EQ(engine.schedule(CipherEngine::Op::kCtr, 10), 18u);  // busy [10,18)
+  engine.flush(12);  // redirect mid-op
+  // The next op may start only once the in-flight op drains at 18.
+  EXPECT_EQ(engine.schedule(CipherEngine::Op::kCtr, 12), 26u);
+}
+
+TEST(CipherEngineFlush, IterativeQueuedOpsAreDropped) {
+  CipherTiming timing;
+  timing.pipelined = false;
+  timing.latency = 8;
+  CipherEngine engine(timing);
+  EXPECT_EQ(engine.schedule(CipherEngine::Op::kCtr, 10), 18u);  // in flight
+  EXPECT_EQ(engine.schedule(CipherEngine::Op::kCbc, 10), 26u);  // queued
+  EXPECT_EQ(engine.schedule(CipherEngine::Op::kCtr, 10), 34u);  // queued
+  engine.flush(12);
+  // Queued work is squashed: only the in-flight drain (cycle 18) remains.
+  EXPECT_EQ(engine.schedule(CipherEngine::Op::kCbc, 12), 26u);
+}
+
+TEST(CipherEngineFlush, IterativeFlushAfterDrainFreesEngine) {
+  CipherTiming timing;
+  timing.pipelined = false;
+  timing.latency = 8;
+  CipherEngine engine(timing);
+  engine.schedule(CipherEngine::Op::kCtr, 10);  // busy [10,18)
+  engine.flush(30);                             // long after the drain
+  EXPECT_EQ(engine.schedule(CipherEngine::Op::kCtr, 30), 38u);
+}
+
+TEST(CipherEngineFlush, DoubleFlushKeepsTheDrainingOpBusy) {
+  CipherTiming timing;
+  timing.pipelined = false;
+  timing.latency = 8;
+  CipherEngine engine(timing);
+  engine.schedule(CipherEngine::Op::kCtr, 10);  // busy [10,18)
+  engine.flush(11);
+  engine.flush(13);  // second redirect before the drain completes
+  EXPECT_EQ(engine.schedule(CipherEngine::Op::kCtr, 13), 26u);
+}
+
+TEST(CipherEngineFlush, InFlightOpSurvivesDeepRunAheadHistory) {
+  // Regression for the history backstop: with a deep iterative cipher and
+  // many run-ahead ops queued after the in-flight one, the op occupying
+  // the engine at the redirect must still be found by flush().
+  CipherTiming timing;
+  timing.pipelined = false;
+  timing.latency = 26;
+  CipherEngine engine(timing);
+  engine.flush(0);  // a prior redirect pins the prune horizon
+  for (int i = 0; i < 40; ++i) engine.schedule(CipherEngine::Op::kCtr, 100);
+  engine.flush(110);  // inside the first op's [100, 126) busy window
+  EXPECT_EQ(engine.schedule(CipherEngine::Op::kCtr, 110), 126u + 26u);
+}
+
+TEST(CipherEngineFlush, PipelinedSlotsFreeImmediately) {
+  CipherTiming timing;  // pipelined, alternating (paper default)
+  CipherEngine engine(timing);
+  engine.schedule(CipherEngine::Op::kCtr, 10);
+  engine.schedule(CipherEngine::Op::kCtr, 10);
+  engine.flush(12);
+  // Squashed ops drain out of the stage registers; the next CTR op starts
+  // on the first even cycle at or after the redirect.
+  EXPECT_EQ(engine.schedule(CipherEngine::Op::kCtr, 12), 14u);
 }
 
 TEST(EngineConfig, IterativeEngineSlowerThanPipelined) {

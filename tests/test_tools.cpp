@@ -3,16 +3,21 @@
 // by CMake.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <array>
 #include <cstdio>
 #include <fstream>
+#include <iterator>
 #include <string>
 
-#if !defined(SOFIA_ASM_BIN) || !defined(SOFIA_RUN_BIN) || \
-    !defined(SOFIA_OBJDUMP_BIN) || !defined(SOFIA_REPORT_BIN)
+#if !defined(SOFIA_ASM_BIN) || !defined(SOFIA_RUN_BIN) ||      \
+    !defined(SOFIA_OBJDUMP_BIN) || !defined(SOFIA_REPORT_BIN) || \
+    !defined(SOFIA_SWEEP_BIN)
 #error "SOFIA_ASM_BIN / SOFIA_RUN_BIN / SOFIA_OBJDUMP_BIN / SOFIA_REPORT_BIN \
-must be injected by the build: configure with -DSOFIA_BUILD_TOOLS=ON so \
-tests/CMakeLists.txt can define them from $<TARGET_FILE:...>"
+/ SOFIA_SWEEP_BIN must be injected by the build: configure with \
+-DSOFIA_BUILD_TOOLS=ON so tests/CMakeLists.txt can define them from \
+$<TARGET_FILE:...>"
 #endif
 
 namespace {
@@ -50,8 +55,11 @@ triple:
 class Tools : public ::testing::Test {
  protected:
   void SetUp() override {
-    src_ = "/tmp/sofia_tools_test.s";
-    img_ = "/tmp/sofia_tools_test.img";
+    // ctest -j runs each test case as its own process; per-PID paths keep
+    // concurrent cases from racing on shared scratch files.
+    const std::string tag = std::to_string(getpid());
+    src_ = "/tmp/sofia_tools_test_" + tag + ".s";
+    img_ = "/tmp/sofia_tools_test_" + tag + ".img";
     std::ofstream out(src_);
     out << kSource;
   }
@@ -143,6 +151,64 @@ TEST_F(Tools, BadUsageExitsNonZero) {
   EXPECT_NE(code, 0);
   run_command(std::string(SOFIA_RUN_BIN) + " /nonexistent.img", &code);
   EXPECT_NE(code, 0);
+}
+
+TEST_F(Tools, ReportRejectsUnknownFlag) {
+  // Regression: flags used to be recognized only as exactly argv[1];
+  // anything else silently ran the full (slow) report.
+  int code = 0;
+  const auto out = run_command(std::string(SOFIA_REPORT_BIN) + " --bogus", &code);
+  EXPECT_EQ(code, 2) << out;
+  EXPECT_NE(out.find("usage"), std::string::npos) << out;
+  EXPECT_NE(out.find("--bogus"), std::string::npos) << out;
+}
+
+TEST_F(Tools, ReportAcceptsFlagsInAnyPosition) {
+  int code = 0;
+  const auto out = run_command(
+      std::string(SOFIA_REPORT_BIN) + " --threads 2 --quick", &code);
+  EXPECT_EQ(code, 0) << out;
+  EXPECT_NE(out.find("Table I"), std::string::npos) << out;
+}
+
+TEST_F(Tools, SweepSmokeJsonIdenticalAcrossThreadCounts) {
+  const std::string tag = std::to_string(getpid());
+  const std::string json1 = "/tmp/sofia_sweep_" + tag + "_t1.json";
+  const std::string json8 = "/tmp/sofia_sweep_" + tag + "_t8.json";
+  int code = 0;
+  const auto out1 = run_command(std::string(SOFIA_SWEEP_BIN) +
+                                    " --smoke --quiet --threads 1 --json " +
+                                    json1, &code);
+  EXPECT_EQ(code, 0) << out1;
+  const auto out8 = run_command(std::string(SOFIA_SWEEP_BIN) +
+                                    " --smoke --quiet --threads 8 --json " +
+                                    json8, &code);
+  EXPECT_EQ(code, 0) << out8;
+  const auto slurp = [](const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+  };
+  const auto doc1 = slurp(json1);
+  EXPECT_FALSE(doc1.empty());
+  EXPECT_EQ(doc1, slurp(json8));
+  EXPECT_NE(doc1.find("\"schema\": \"sofia-sweep-v1\""), std::string::npos);
+  std::remove(json1.c_str());
+  std::remove(json8.c_str());
+}
+
+TEST_F(Tools, SweepListsMatricesAndRejectsUnknown) {
+  int code = 0;
+  const auto list = run_command(std::string(SOFIA_SWEEP_BIN) + " --list", &code);
+  EXPECT_EQ(code, 0);
+  EXPECT_NE(list.find("suite-overhead"), std::string::npos) << list;
+  EXPECT_NE(list.find("granularity"), std::string::npos) << list;
+  run_command(std::string(SOFIA_SWEEP_BIN) + " --matrix nope --smoke", &code);
+  EXPECT_NE(code, 0);
+  const auto bad = run_command(std::string(SOFIA_SWEEP_BIN) + " --frobnicate",
+                               &code);
+  EXPECT_EQ(code, 2);
+  EXPECT_NE(bad.find("usage"), std::string::npos) << bad;
 }
 
 }  // namespace

@@ -1,20 +1,56 @@
 // sofia-report: one-command reproduction summary — runs the headline
 // experiments (Table I, the ADPCM benchmark, the security analysis, a
 // fault campaign) and prints a compact paper-vs-measured table. The full
-// sweeps live in the bench/ binaries; this is the "is the reproduction
-// healthy?" view.
+// sweeps live in sofia_sweep and the bench/ binaries; this is the "is the
+// reproduction healthy?" view.
 //
-//   sofia_report [--quick]
+//   sofia_report [--quick] [--threads N]
 #include <cstdio>
-#include <cstring>
+#include <cstdlib>
+#include <string>
 
+#include "driver/sweep.hpp"
 #include "security/attacks.hpp"
 #include "security/forgery.hpp"
-#include "support/measure.hpp"
+
+namespace {
+
+int usage(std::FILE* to, int exit_code) {
+  std::fprintf(to,
+               "usage: sofia_report [options]\n"
+               "  --quick       smaller workloads and fault campaign\n"
+               "  --threads N   worker threads for the measurements (default 1)\n");
+  return exit_code;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace sofia;
-  const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+  bool quick = false;
+  unsigned threads = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--quick") {
+      quick = true;
+    } else if (arg == "--threads") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "sofia_report: --threads needs a value\n");
+        return usage(stderr, 2);
+      }
+      const long n = std::strtol(argv[++i], nullptr, 10);
+      if (n < 1) {
+        std::fprintf(stderr, "sofia_report: --threads must be >= 1\n");
+        return usage(stderr, 2);
+      }
+      threads = static_cast<unsigned>(n);
+    } else if (arg == "--help" || arg == "-h") {
+      return usage(stdout, 0);
+    } else {
+      std::fprintf(stderr, "sofia_report: unknown option '%s'\n", argv[i]);
+      return usage(stderr, 2);
+    }
+  }
   const std::uint32_t samples = quick ? 1024 : 8192;
   const auto keys = bench::bench_keys();
   const hw::HwModel model;
@@ -42,15 +78,29 @@ int main(int argc, char** argv) {
   std::printf("%-44s %16s %16.0f\n", "CFI attack years (16 cyc/trial)", "93590",
               security::forgery_years(64, 16, 50e6));
 
-  // --- ADPCM -------------------------------------------------------------------
+  // --- ADPCM (through the sweep driver) ----------------------------------------
+  driver::SweepSpec adpcm;
+  adpcm.name = "report-adpcm";
+  adpcm.workloads = {"adpcm_encode", "adpcm_decode"};
+  adpcm.size_override = samples;
+  adpcm.base_seed = 1;  // the paper-comparison waveform
+  adpcm.configs = {driver::paper_default_config()};
+  const auto sweep = driver::run_sweep(adpcm, threads);
+  if (!sweep.all_ok()) {
+    for (const auto& job : sweep.jobs)
+      if (!job.ok)
+        std::fprintf(stderr, "sofia_report: %s failed: %s\n",
+                     job.job.workload.c_str(), job.error.c_str());
+    return 1;
+  }
   double text_ratio = 0;
   double cyc = 0;
   double time_ovh = 0;
-  for (const char* name : {"adpcm_encode", "adpcm_decode"}) {
-    const auto m = bench::measure_workload(workloads::workload(name), 1, samples);
-    text_ratio += m.size_ratio() / 2;
-    cyc += m.cycle_overhead_pct() / 2;
-    time_ovh += m.time_overhead_pct(model, 2) / 2;
+  const double n = static_cast<double>(sweep.jobs.size());
+  for (const auto& job : sweep.jobs) {
+    text_ratio += job.m.size_ratio() / n;
+    cyc += job.m.cycle_overhead_pct() / n;
+    time_ovh += job.m.time_overhead_pct(model, 2) / n;
   }
   std::printf("%-44s %16s %15.2fx\n", "ADPCM text expansion", "2.41x", text_ratio);
   std::printf("%-44s %16s %15.1f%%\n",
@@ -82,6 +132,6 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(faults.detected),
               static_cast<unsigned long long>(faults.trials));
   bench::print_rule(80);
-  std::printf("\nDetails: EXPERIMENTS.md; full sweeps: build/bench/*.\n");
+  std::printf("\nDetails: EXPERIMENTS.md; full sweeps: sofia_sweep + build/bench/*.\n");
   return (rop_ok && jop_ok && faults.detected == faults.trials) ? 0 : 1;
 }

@@ -1,0 +1,119 @@
+// sofia-sweep: run an experiment matrix (workloads × configurations) on a
+// thread pool and emit the results as a machine-readable JSON document.
+// The built-in matrices cover the paper's headline tables plus the repo's
+// ablations; adding a scenario is one entry in src/driver/sweep.cpp.
+//
+//   sofia_sweep [--matrix NAME] [--threads N] [--json PATH] [--smoke] [--list]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <thread>
+
+#include "driver/sweep.hpp"
+
+namespace {
+
+int usage(std::FILE* to, int exit_code) {
+  std::fprintf(to,
+               "usage: sofia_sweep [options]\n"
+               "  --matrix NAME   matrix to run (default: suite-overhead; see --list)\n"
+               "  --threads N     worker threads (default: hardware concurrency)\n"
+               "  --json PATH     write the results document to PATH\n"
+               "  --smoke         shrink the matrix to a seconds-long smoke run\n"
+               "  --list          list the built-in matrices and exit\n"
+               "  --quiet         suppress the per-job progress table\n");
+  return exit_code;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sofia;
+  std::string matrix_name = "suite-overhead";
+  std::string json_path;
+  unsigned threads = std::max(1u, std::thread::hardware_concurrency());
+  bool smoke = false;
+  bool quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    const auto take_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "sofia_sweep: %s needs a value\n", flag);
+        std::exit(usage(stderr, 2));
+      }
+      return argv[++i];
+    };
+    if (arg == "--matrix") {
+      matrix_name = take_value("--matrix");
+    } else if (arg == "--threads") {
+      const long n = std::strtol(take_value("--threads"), nullptr, 10);
+      if (n < 1) {
+        std::fprintf(stderr, "sofia_sweep: --threads must be >= 1\n");
+        return usage(stderr, 2);
+      }
+      threads = static_cast<unsigned>(n);
+    } else if (arg == "--json") {
+      json_path = take_value("--json");
+    } else if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--list") {
+      for (const auto& name : driver::matrix_names())
+        std::printf("%s\n", name.c_str());
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      return usage(stdout, 0);
+    } else {
+      std::fprintf(stderr, "sofia_sweep: unknown option '%s'\n", argv[i]);
+      return usage(stderr, 2);
+    }
+  }
+
+  try {
+    driver::SweepSpec spec = driver::matrix(matrix_name);
+    if (smoke) spec = driver::smoke(std::move(spec));
+    const auto jobs = driver::expand_jobs(spec);
+    std::printf("sweep %-20s %zu jobs on %u thread(s)\n", spec.name.c_str(),
+                jobs.size(), threads);
+
+    driver::ProgressFn progress;
+    if (!quiet) {
+      progress = [](const driver::JobResult& r) {
+        if (!r.ok) {
+          std::printf("  [%3zu] %-14s %-34s FAILED: %s\n", r.job.index,
+                      r.job.workload.c_str(), r.job.config.name.c_str(),
+                      r.error.c_str());
+          return;
+        }
+        std::printf("  [%3zu] %-14s %-34s cycles %10llu -> %10llu (%+6.1f%%)\n",
+                    r.job.index, r.job.workload.c_str(),
+                    r.job.config.name.c_str(),
+                    static_cast<unsigned long long>(r.m.vanilla_cycles),
+                    static_cast<unsigned long long>(r.m.sofia_cycles),
+                    r.m.cycle_overhead_pct());
+      };
+    }
+    const auto result = driver::run_sweep(spec, threads, progress);
+    std::printf("done in %.2f s (%u thread(s)); %s\n", result.wall_seconds,
+                result.threads_used, result.all_ok() ? "all jobs ok" : "FAILURES");
+
+    if (!json_path.empty()) {
+      std::ofstream out(json_path, std::ios::binary);
+      if (!out) {
+        std::fprintf(stderr, "sofia_sweep: cannot write '%s'\n",
+                     json_path.c_str());
+        return 1;
+      }
+      out << driver::to_json(result);
+      std::printf("wrote %s\n", json_path.c_str());
+    }
+    return result.all_ok() ? 0 : 1;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "sofia_sweep: %s\n", e.what());
+    return 1;
+  }
+}
