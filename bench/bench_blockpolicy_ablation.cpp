@@ -32,7 +32,7 @@ int main() {
     int n = 0;
     for (const auto& spec : workloads::all_workloads()) {
       auto opts = bench::default_measure_options();
-      opts.transform.policy = p.policy;
+      opts.profile.policy = p.policy;
       const auto m = bench::measure_workload(spec, 1, spec.default_size / 2, opts);
       text_ratio += m.size_ratio();
       pad += 100.0 * static_cast<double>(m.sofia_stats.nops) /

@@ -22,7 +22,6 @@ std::string callers_program(int k, int reps) {
 
 int main() {
   using namespace sofia;
-  const auto keys = bench::bench_keys();
   std::printf("Multiplexor-tree cost vs caller count (Fig. 9)\n");
   bench::print_rule(96);
   std::printf("%-8s %10s %10s %10s | %10s %10s | %12s\n", "callers", "mux",
@@ -30,27 +29,21 @@ int main() {
   bench::print_rule(96);
   for (const int k : {1, 2, 3, 4, 6, 8, 12, 16}) {
     const int reps = 2000 / k;
-    const std::string src = callers_program(k, reps);
-    const auto prog = assembler::assemble(src);
-    const auto vimg = assembler::link_vanilla(prog);
-    sim::SimConfig vcfg;
-    const auto v = sim::run_image(vimg, vcfg);
-
-    xform::Options topts;
-    topts.granularity = crypto::Granularity::kPerPair;
-    const auto t = xform::transform(prog, keys, topts);
-    sim::SimConfig scfg;
-    scfg.keys = keys;
-    const auto s = sim::run_image(t.image, scfg);
+    auto session = pipeline::Pipeline::from_source(
+        callers_program(k, reps), pipeline::DeviceProfile::paper_default(),
+        "callers-k" + std::to_string(k));
+    const auto& v = session.run_vanilla();
+    const auto& s = session.run();
     if (!v.ok() || !s.ok() || v.output != s.output) {
       std::printf("k=%d: RUN MISMATCH\n", k);
       return 1;
     }
+    const auto& t = session.hardened();
     const double calls = static_cast<double>(k) * reps;
     std::printf("%-8d %10u %10u %10.2f | %10llu %10llu | %12.1f\n", k,
                 t.stats.layout.mux_blocks, t.stats.layout.forward_blocks,
                 static_cast<double>(t.image.text_bytes()) /
-                    static_cast<double>(vimg.text_bytes()),
+                    static_cast<double>(session.vanilla_image().text_bytes()),
                 static_cast<unsigned long long>(v.stats.cycles),
                 static_cast<unsigned long long>(s.stats.cycles),
                 static_cast<double>(s.stats.cycles) / calls);

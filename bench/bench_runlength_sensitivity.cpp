@@ -44,7 +44,6 @@ std::string loop_program(const std::string& kind, int body_insts, int iterations
 
 void sweep(const std::string& kind) {
   using namespace sofia;
-  const auto keys = bench::bench_keys();
   std::printf("\n%s bodies:\n",
               kind == "alu" ? "Independent-ALU (ideal IPC~1 baseline)"
                             : "Load-use-chained (table-lookup style baseline)");
@@ -53,22 +52,18 @@ void sweep(const std::string& kind) {
               "cycles(V)", "cycles(S)", "cyc%", "pad%", "IPC(V)", "text x");
   bench::print_rule(88);
   for (const int body : {2, 4, 6, 8, 10, 14, 20, 30, 46}) {
-    const std::string src = loop_program(kind, body, 4000);
-    const auto prog = assembler::assemble(src);
-    const auto vimg = assembler::link_vanilla(prog);
-    sim::SimConfig vcfg;
-    const auto v = sim::run_image(vimg, vcfg);
-
-    xform::Options topts;
-    topts.granularity = crypto::Granularity::kPerPair;
-    const auto t = xform::transform(prog, keys, topts);
-    sim::SimConfig scfg;
-    scfg.keys = keys;
-    const auto s = sim::run_image(t.image, scfg);
+    auto session = pipeline::Pipeline::from_source(
+        loop_program(kind, body, 4000),
+        pipeline::DeviceProfile::paper_default(),
+        kind + "-body" + std::to_string(body));
+    const auto& v = session.run_vanilla();
+    const auto& s = session.run();
     if (!v.ok() || !s.ok() || v.output != s.output) {
       std::printf("body=%d: RUN MISMATCH\n", body);
       std::exit(1);
     }
+    const auto& t = session.hardened();
+    const auto& vimg = session.vanilla_image();
     const double pad = 100.0 * static_cast<double>(s.stats.nops) /
                        static_cast<double>(s.stats.insts);
     std::printf("%-12d %10llu %10llu %+7.1f%% | %7.1f%% %8.2f | %7.2f\n", body,

@@ -9,7 +9,7 @@
 // Build & run:  ./build/examples/attack_demo
 #include <cstdio>
 
-#include "crypto/key_set.hpp"
+#include "pipeline/device_profile.hpp"
 #include "security/attacks.hpp"
 
 namespace {
@@ -33,7 +33,9 @@ void narrate(const sofia::security::AttackOutcome& outcome) {
 
 int main() {
   using namespace sofia;
-  const auto keys = crypto::KeySet::example(crypto::CipherKind::kRectangle80);
+  // The device under attack: paper defaults (RECTANGLE-80, example keys).
+  const auto profile = pipeline::DeviceProfile::paper_default();
+  const auto keys = profile.keys();
 
   const char* victim = R"(
 main:
@@ -51,7 +53,7 @@ work:
   ret
 )";
 
-  security::AttackHarness harness(victim, keys);
+  security::AttackHarness harness(victim, profile);
   std::printf("victim program runs clean: output = %s\n",
               harness.clean_run().output.c_str());
 

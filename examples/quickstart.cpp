@@ -1,21 +1,20 @@
-// Quickstart: the whole SOFIA flow in one page.
+// Quickstart: the whole SOFIA flow in one page, through the pipeline API.
 //
 //   1. Write a bare-metal SR32 program.
-//   2. Assemble it.
-//   3. Vanilla path: link sequentially, run on the plain core.
-//   4. SOFIA path: transform (devirtualize, pack into execution/multiplexor
-//      blocks, CBC-MAC, CTR-encrypt) with a device key set, then run on the
-//      simulated SOFIA core, which decrypts and verifies at fetch time.
-//   5. Compare results and look at the security machinery's statistics.
+//   2. Describe the device once with a DeviceProfile (cipher + keys +
+//      block policy + CTR granularity — the single source of truth shared
+//      by the installation toolchain and the simulated device).
+//   3. Open a Pipeline session. Stages are computed lazily and cached:
+//      program() assembles, vanilla_image() links the plain baseline,
+//      hardened() runs the §III transform (devirtualize, pack into
+//      execution/multiplexor blocks, CBC-MAC, CTR-encrypt), run() executes
+//      on the SOFIA core, run_vanilla() on the plain one.
+//   4. Compare results and look at the security machinery's statistics.
 //
 // Build & run:  ./build/examples/quickstart
 #include <cstdio>
 
-#include "assembler/link.hpp"
-#include "assembler/program.hpp"
-#include "crypto/key_set.hpp"
-#include "sim/machine.hpp"
-#include "xform/transform.hpp"
+#include "pipeline/pipeline.hpp"
 
 int main() {
   using namespace sofia;
@@ -35,27 +34,25 @@ loop:
   halt
 )";
 
-  // 2. Assemble once; both back ends consume the same symbolic program.
-  const assembler::Program program = assembler::assemble(source);
+  // 2. The device: paper defaults — RECTANGLE-80, the documented example
+  //    keys, 8-word blocks, pair-granular CTR (§III hardware).
+  const pipeline::DeviceProfile profile = pipeline::DeviceProfile::paper_default();
+  std::printf("device profile: %s\n\n", profile.fingerprint().c_str());
 
-  // 3. Vanilla baseline.
-  const assembler::LoadImage vanilla = assembler::link_vanilla(program);
-  sim::SimConfig vanilla_config;
-  const sim::RunResult vrun = sim::run_image(vanilla, vanilla_config);
+  // 3. One session covers both back ends; the source is assembled once.
+  pipeline::Pipeline session =
+      pipeline::Pipeline::from_source(source, profile, "quickstart");
+
+  // Vanilla baseline.
+  const sim::RunResult& vrun = session.run_vanilla();
   std::printf("vanilla : status=%s output=%s", to_string(vrun.status).data(),
               vrun.output.c_str());
   std::printf("          %llu cycles, %llu instructions\n",
               static_cast<unsigned long long>(vrun.stats.cycles),
               static_cast<unsigned long long>(vrun.stats.insts));
 
-  // 4. SOFIA: the provider transforms with the device's keys.
-  const crypto::KeySet keys =
-      crypto::KeySet::example(crypto::CipherKind::kRectangle80);
-  xform::Options options;  // paper defaults: 8-word blocks, stores >= word 4
-  options.granularity = crypto::Granularity::kPerPair;
-  const xform::TransformResult transformed =
-      xform::transform(program, keys, options);
-
+  // SOFIA: the provider transforms with the device's keys...
+  const xform::TransformResult& transformed = session.hardened();
   std::printf("\ntransform: %u bytes -> %u bytes (%.2fx), %u exec + %u mux + "
               "%u forwarding blocks, %u padding NOPs\n",
               transformed.stats.text_bytes_in, transformed.stats.text_bytes_out,
@@ -64,10 +61,8 @@ loop:
               transformed.stats.layout.forward_blocks,
               transformed.stats.layout.pad_nops);
 
-  sim::SimConfig sofia_config;
-  sofia_config.keys = keys;
-  sofia_config.policy = options.policy;
-  const sim::RunResult srun = sim::run_image(transformed.image, sofia_config);
+  // ...and the simulated SOFIA core decrypts and verifies at fetch time.
+  const sim::RunResult& srun = session.run();
   std::printf("SOFIA   : status=%s output=%s", to_string(srun.status).data(),
               srun.output.c_str());
   std::printf("          %llu cycles, %llu blocks fetched, %llu MAC "
@@ -78,8 +73,11 @@ loop:
               static_cast<unsigned long long>(srun.stats.ctr_ops),
               static_cast<unsigned long long>(srun.stats.cbc_ops));
 
-  // 5. Same architectural result, every block authenticated.
-  std::printf("\noutputs match: %s\n",
-              vrun.output == srun.output ? "yes" : "NO (bug!)");
+  // 4. Same architectural result, every block authenticated. measure()
+  //    packages the same comparison (and validates it) in one call.
+  const pipeline::Measurement m = session.measure();
+  std::printf("\noutputs match: %s  (text %.2fx, cycles %+.1f%%)\n",
+              vrun.output == srun.output ? "yes" : "NO (bug!)",
+              m.size_ratio(), m.cycle_overhead_pct());
   return vrun.output == srun.output ? 0 : 1;
 }

@@ -1,0 +1,25 @@
+# CTest runner for the example smoke tests: asserts exit code 0 AND a
+# sanity substring in stdout (PASS_REGULAR_EXPRESSION alone would ignore
+# the exit code).
+#
+#   cmake -DEXE=<binary> -DPATTERN=<substring> [-DARGS=<a;b;c>] -P run_example.cmake
+if(NOT DEFINED EXE OR NOT DEFINED PATTERN)
+  message(FATAL_ERROR "run_example.cmake needs -DEXE=... and -DPATTERN=...")
+endif()
+set(_args)
+if(DEFINED ARGS)
+  separate_arguments(_args UNIX_COMMAND "${ARGS}")
+endif()
+execute_process(
+  COMMAND ${EXE} ${_args}
+  OUTPUT_VARIABLE _out
+  ERROR_VARIABLE _err
+  RESULT_VARIABLE _code)
+if(NOT _code EQUAL 0)
+  message(FATAL_ERROR "${EXE} exited with ${_code}\nstdout:\n${_out}\nstderr:\n${_err}")
+endif()
+string(FIND "${_out}" "${PATTERN}" _idx)
+if(_idx EQUAL -1)
+  message(FATAL_ERROR "${EXE}: expected substring '${PATTERN}' not found in stdout:\n${_out}")
+endif()
+message(STATUS "${EXE}: ok (exit 0, found '${PATTERN}')")

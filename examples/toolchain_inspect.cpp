@@ -1,18 +1,17 @@
 // Toolchain inspector: shows what the transformation actually does to a
 // program — the CFG-driven block layout, the multiplexor entries, the
-// per-word encryption counters, and the ciphertext vs the plaintext.
+// per-word encryption counters, and the ciphertext vs the plaintext. All
+// intermediate products come from one Pipeline session: the assembled
+// program, the normalized (devirtualized) program, the block layout and
+// the encrypted image are different stages of the same cached session.
 //
 // Build & run:  ./build/examples/toolchain_inspect
 #include <cstdio>
 
-#include "assembler/program.hpp"
 #include "cfg/cfg.hpp"
-#include "crypto/cbc_mac.hpp"
-#include "crypto/key_set.hpp"
 #include "isa/disasm.hpp"
+#include "pipeline/pipeline.hpp"
 #include "support/hex.hpp"
-#include "xform/normalize.hpp"
-#include "xform/transform.hpp"
 
 int main() {
   using namespace sofia;
@@ -30,9 +29,12 @@ f:
 )";
   std::printf("source program:\n%s\n", source);
 
-  const auto program = assembler::assemble(source);
-  const auto keys = crypto::KeySet::example(crypto::CipherKind::kRectangle80);
-  const auto result = xform::transform(program, keys, {});
+  // Alg. 1's per-word CTR keeps the word-by-word counter view legible.
+  pipeline::DeviceProfile profile = pipeline::DeviceProfile::paper_default();
+  profile.granularity = crypto::Granularity::kPerWord;
+  auto session = pipeline::Pipeline::from_source(source, profile, "inspect");
+  const auto& result = session.hardened();
+  const auto keys = profile.keys();
 
   // --- CFG view ------------------------------------------------------------
   const auto cfg = cfg::Cfg::build(result.normalized);

@@ -1,5 +1,6 @@
 // Workload explorer: run any registered workload (the paper's ADPCM pair or
-// the extended suite) through both pipelines and print a comparison.
+// the extended suite) through both pipelines and print a comparison — one
+// Pipeline session per workload, golden-model output checked on both cores.
 //
 //   ./build/examples/workload_explorer                 # list workloads
 //   ./build/examples/workload_explorer adpcm_encode    # default size/seed
@@ -8,11 +9,7 @@
 #include <cstdlib>
 #include <string>
 
-#include "assembler/link.hpp"
-#include "crypto/key_set.hpp"
-#include "sim/machine.hpp"
-#include "workloads/workloads.hpp"
-#include "xform/transform.hpp"
+#include "pipeline/pipeline.hpp"
 
 int main(int argc, char** argv) {
   using namespace sofia;
@@ -31,21 +28,10 @@ int main(int argc, char** argv) {
   const std::uint64_t seed =
       argc > 3 ? std::strtoull(argv[3], nullptr, 0) : 1;
 
-  const std::string src = spec.source(seed, size);
+  auto session = pipeline::Pipeline::from_workload(spec, seed, size);
   const std::string expected = spec.golden(seed, size);
-  const auto program = assembler::assemble(src);
-
-  const auto vimg = assembler::link_vanilla(program);
-  sim::SimConfig vcfg;
-  const auto vrun = sim::run_image(vimg, vcfg);
-
-  const auto keys = crypto::KeySet::example(crypto::CipherKind::kRectangle80);
-  xform::Options opts;
-  opts.granularity = crypto::Granularity::kPerPair;
-  const auto transformed = xform::transform(program, keys, opts);
-  sim::SimConfig scfg;
-  scfg.keys = keys;
-  const auto srun = sim::run_image(transformed.image, scfg);
+  const auto& vrun = session.run_vanilla();
+  const auto& srun = session.run();
 
   std::printf("%s  n=%u seed=%llu\n", spec.name.c_str(), size,
               static_cast<unsigned long long>(seed));
@@ -53,18 +39,19 @@ int main(int argc, char** argv) {
   std::printf("vanilla: %-8s %10llu cycles  %6u B text   output %s\n",
               to_string(vrun.status).data(),
               static_cast<unsigned long long>(vrun.stats.cycles),
-              vimg.text_bytes(), vrun.output == expected ? "ok" : "MISMATCH");
+              session.vanilla_image().text_bytes(),
+              vrun.output == expected ? "ok" : "MISMATCH");
   std::printf("SOFIA:   %-8s %10llu cycles  %6u B text   output %s\n",
               to_string(srun.status).data(),
               static_cast<unsigned long long>(srun.stats.cycles),
-              transformed.image.text_bytes(),
+              session.image().text_bytes(),
               srun.output == expected ? "ok" : "MISMATCH");
   std::printf("overhead: cycles %+.1f%%, text %.2fx, padding NOPs %.1f%% of "
               "executed instructions\n",
               (static_cast<double>(srun.stats.cycles) /
                    static_cast<double>(vrun.stats.cycles) -
                1.0) * 100.0,
-              transformed.stats.expansion(),
+              session.hardened().stats.expansion(),
               100.0 * static_cast<double>(srun.stats.nops) /
                   static_cast<double>(srun.stats.insts));
   return (vrun.output == expected && srun.output == expected) ? 0 : 1;

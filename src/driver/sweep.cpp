@@ -6,6 +6,8 @@
 #include <mutex>
 #include <thread>
 
+#include "support/cli.hpp"
+#include "support/error.hpp"
 #include "support/json.hpp"
 
 namespace sofia::driver {
@@ -17,18 +19,20 @@ std::string bool01(bool b) { return b ? "1" : "0"; }
 }  // namespace
 
 std::string ConfigPoint::fingerprint() const {
-  const auto& t = opts.transform;
+  const auto& p = opts.profile;
   const auto& c = opts.config;
   std::string fp;
   fp += "gran=";
-  fp += crypto::to_string(t.granularity);
+  fp += crypto::to_string(p.granularity);
   fp += " alt=" + bool01(c.cipher.alternate);
   fp += " pipe=" + bool01(c.cipher.pipelined);
   fp += " lat=" + std::to_string(c.cipher.latency);
-  fp += " policy=" + std::to_string(t.policy.words_per_block) + "/" +
-        std::to_string(t.policy.store_min_word);
+  fp += " policy=" + std::to_string(p.policy.words_per_block) + "/" +
+        std::to_string(p.policy.store_min_word);
   fp += " cipher=";
-  fp += crypto::to_string(opts.cipher_kind);
+  fp += crypto::to_string(p.cipher);
+  if (p.key_source == pipeline::KeySource::kSeed)
+    fp += " keys=seed:" + std::to_string(p.key_seed);
   fp += " icache=" + std::to_string(c.icache.size_bytes) + "x" +
         std::to_string(c.icache.line_bytes);
   fp += " unroll=" + std::to_string(unroll_cycles);
@@ -74,6 +78,31 @@ bool SweepResult::all_ok() const {
                      [](const JobResult& r) { return r.ok; });
 }
 
+void ShardSpec::validate() const {
+  if (count == 0) throw Error("shard: count must be >= 1");
+  if (index >= count)
+    throw Error("shard: index " + std::to_string(index) +
+                " out of range for " + std::to_string(count) + " shard(s)");
+}
+
+ShardSpec ShardSpec::parse(std::string_view text) {
+  const auto slash = text.find('/');
+  const auto parse_num = [&](std::string_view part) -> std::uint32_t {
+    std::uint64_t v = 0;
+    if (!cli::parse_number(part, v) || v > 0xFFFFFFFFull)
+      throw Error("shard: expected K/N with K and N in [0, 2^32), got '" +
+                  std::string(text) + "'");
+    return static_cast<std::uint32_t>(v);
+  };
+  if (slash == std::string_view::npos)
+    throw Error("shard: expected K/N syntax, got '" + std::string(text) + "'");
+  ShardSpec shard;
+  shard.index = parse_num(text.substr(0, slash));
+  shard.count = parse_num(text.substr(slash + 1));
+  shard.validate();
+  return shard;
+}
+
 namespace {
 
 JobResult run_job(const JobSpec& job) {
@@ -92,10 +121,18 @@ JobResult run_job(const JobSpec& job) {
 }  // namespace
 
 SweepResult run_sweep(const SweepSpec& spec, unsigned threads,
-                      const ProgressFn& progress) {
-  const auto jobs = expand_jobs(spec);
+                      const ProgressFn& progress, ShardSpec shard) {
+  shard.validate();
+  const auto all_jobs = expand_jobs(spec);
+  std::vector<JobSpec> jobs;
+  jobs.reserve(all_jobs.size());
+  for (const auto& job : all_jobs)
+    if (job.index % shard.count == shard.index) jobs.push_back(job);
+
   SweepResult result;
   result.sweep_name = spec.name;
+  result.total_jobs = all_jobs.size();
+  result.shard = shard;
   result.jobs.resize(jobs.size());
 
   const auto max_threads =
@@ -140,12 +177,18 @@ std::string to_json(const SweepResult& result) {
   const hw::HwModel model;
   json::Writer w(2);
   w.begin_object();
-  w.member("schema", "sofia-sweep-v1");
+  w.member("schema", "sofia-sweep-v2");
   w.member("sweep", result.sweep_name);
-  w.member("job_count", static_cast<std::uint64_t>(result.jobs.size()));
+  w.member("job_count", static_cast<std::uint64_t>(
+                            result.total_jobs ? result.total_jobs
+                                              : result.jobs.size()));
+  if (!result.shard.is_whole())
+    w.member("shard", std::to_string(result.shard.index) + "/" +
+                          std::to_string(result.shard.count));
   w.key("jobs").begin_array();
   for (const auto& r : result.jobs) {
     w.begin_object();
+    w.member("index", static_cast<std::uint64_t>(r.job.index));
     w.member("workload", r.job.workload);
     w.member("config", r.job.config.name);
     w.member("fingerprint", r.job.config.fingerprint());
@@ -175,6 +218,76 @@ std::string to_json(const SweepResult& result) {
     }
     w.end_object();
   }
+  w.end_array();
+  w.end_object();
+  std::string doc = w.str();
+  doc += '\n';
+  return doc;
+}
+
+std::string merge_json(const std::vector<std::string>& documents) {
+  if (documents.empty()) throw Error("merge: no input documents");
+
+  std::string sweep_name;
+  std::uint64_t total = 0;
+  std::vector<const json::Value*> by_index;
+  // Keep the parsed trees alive while by_index points into them.
+  std::vector<json::Value> parsed;
+  parsed.reserve(documents.size());
+
+  for (std::size_t d = 0; d < documents.size(); ++d) {
+    parsed.push_back(json::parse(documents[d]));
+    const auto& doc = parsed.back();
+    const auto label = "document " + std::to_string(d);
+    const auto* schema = doc.find("schema");
+    if (schema == nullptr || schema->as_string("schema") != "sofia-sweep-v2")
+      throw Error("merge: " + label + " is not a sofia-sweep-v2 document");
+    const auto* sweep = doc.find("sweep");
+    const auto* count = doc.find("job_count");
+    const auto* jobs = doc.find("jobs");
+    if (sweep == nullptr || count == nullptr || jobs == nullptr)
+      throw Error("merge: " + label + " is missing sweep/job_count/jobs");
+    if (d == 0) {
+      sweep_name = sweep->as_string("sweep");
+      total = count->as_uint("job_count");
+      by_index.assign(total, nullptr);
+    } else {
+      if (sweep->as_string("sweep") != sweep_name)
+        throw Error("merge: " + label + " is from sweep '" +
+                    sweep->as_string("sweep") + "', expected '" + sweep_name +
+                    "'");
+      if (count->as_uint("job_count") != total)
+        throw Error("merge: " + label + " disagrees on job_count");
+    }
+    for (const auto& job : jobs->as_array("jobs")) {
+      const auto* index = job.find("index");
+      if (index == nullptr) throw Error("merge: job record without index");
+      const std::uint64_t i = index->as_uint("index");
+      if (i >= total)
+        throw Error("merge: job index " + std::to_string(i) +
+                    " out of range for job_count " + std::to_string(total));
+      if (by_index[i] != nullptr)
+        throw Error("merge: job index " + std::to_string(i) +
+                    " appears in more than one document");
+      by_index[i] = &job;
+    }
+  }
+
+  for (std::uint64_t i = 0; i < total; ++i)
+    if (by_index[i] == nullptr)
+      throw Error("merge: job index " + std::to_string(i) +
+                  " is missing from the inputs");
+
+  // Re-emit the canonical unsharded document: identical member order and
+  // number text to what to_json() writes, so merged == unsharded, byte for
+  // byte.
+  json::Writer w(2);
+  w.begin_object();
+  w.member("schema", "sofia-sweep-v2");
+  w.member("sweep", sweep_name);
+  w.member("job_count", total);
+  w.key("jobs").begin_array();
+  for (const auto* job : by_index) job->write(w);
   w.end_array();
   w.end_object();
   std::string doc = w.str();
@@ -212,7 +325,7 @@ SweepSpec granularity_matrix() {
   for (const auto& p : points) {
     ConfigPoint c = paper_default_config();
     c.name = p.name;
-    c.opts.transform.granularity = p.gran;
+    c.opts.profile.granularity = p.gran;
     c.opts.config.cipher.alternate = p.alternate;
     spec.configs.push_back(std::move(c));
   }
@@ -227,7 +340,7 @@ SweepSpec blockpolicy_matrix() {
   paper.name = "8-word block, stores>=4 (paper)";
   ConfigPoint small = paper_default_config();
   small.name = "6-word block, unrestricted (Fig.5)";
-  small.opts.transform.policy = xform::BlockPolicy::small_unrestricted();
+  small.opts.profile.policy = xform::BlockPolicy::small_unrestricted();
   spec.configs = {paper, small};
   return spec;
 }
@@ -240,7 +353,7 @@ SweepSpec cipher_matrix() {
   rect.name = "RECTANGLE-80 (paper)";
   ConfigPoint speck = paper_default_config();
   speck.name = "SPECK-64/128";
-  speck.opts.cipher_kind = crypto::CipherKind::kSpeck64_128;
+  speck.opts.profile.cipher = crypto::CipherKind::kSpeck64_128;
   spec.configs = {rect, speck};
   return spec;
 }

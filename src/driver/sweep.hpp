@@ -9,20 +9,29 @@
 // thread count.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "support/measure.hpp"
 
 namespace sofia::driver {
 
-/// One configuration cell of the matrix: everything measure_workload needs
-/// plus the cipher-unroll factor the hardware time model uses.
+/// One configuration cell of the matrix: a DeviceProfile (cipher, keys,
+/// policy, granularity) + simulator timing knobs + the cipher-unroll factor
+/// the hardware time model uses.
 struct ConfigPoint {
   std::string name;  ///< short label, e.g. "per-word demand-driven"
   bench::MeasureOptions opts;
+
+  /// The device side of the cell (opts.profile, spelled out because it is
+  /// the swept axis most matrices vary).
+  pipeline::DeviceProfile& profile() { return opts.profile; }
+  const pipeline::DeviceProfile& profile() const { return opts.profile; }
+
   int unroll_cycles = 2;  ///< hw::HwModel::sofia() design point
 
   /// Stable machine-readable fingerprint of every swept axis
@@ -73,9 +82,24 @@ struct JobResult {
   bench::Measurement m;    ///< valid only when ok
 };
 
+/// One machine's slice of a multi-machine sweep: run only the jobs with
+/// index ≡ index (mod count). The default (0 of 1) is the whole matrix.
+struct ShardSpec {
+  std::uint32_t index = 0;
+  std::uint32_t count = 1;
+
+  bool is_whole() const { return count <= 1; }
+  /// Throws sofia::Error when count == 0 or index >= count.
+  void validate() const;
+  /// Parse the CLI "K/N" syntax.
+  static ShardSpec parse(std::string_view text);
+};
+
 struct SweepResult {
   std::string sweep_name;
-  std::vector<JobResult> jobs;  ///< in job-index order, one per matrix cell
+  std::size_t total_jobs = 0;   ///< full matrix size (== jobs.size() unsharded)
+  ShardSpec shard;              ///< which slice `jobs` holds
+  std::vector<JobResult> jobs;  ///< in job-index order, one per executed cell
   double wall_seconds = 0;      ///< measured, NOT part of the JSON document
   unsigned threads_used = 1;    ///< ditto
 
@@ -89,15 +113,26 @@ using ProgressFn = std::function<void(const JobResult&)>;
 /// Execute the matrix on `threads` worker threads (clamped to [1, jobs]).
 /// A job failure (functional mismatch, transform error) is captured in its
 /// JobResult, never thrown — one broken cell must not sink a whole sweep.
+/// With a non-trivial `shard`, only that slice of the job list runs; seeds
+/// are fixed at expansion time, so shard results are identical to the same
+/// jobs' results in an unsharded run.
 SweepResult run_sweep(const SweepSpec& spec, unsigned threads,
-                      const ProgressFn& progress = {});
+                      const ProgressFn& progress = {}, ShardSpec shard = {});
 
 /// Render the sweep as a deterministic JSON document (schema documented in
-/// the README): sweep name + one record per job with the config
-/// fingerprint, cycle/text numbers and overhead percentages. Wall-clock
-/// and thread count are deliberately excluded so documents are
-/// byte-identical across thread counts.
+/// the README): sweep name + one record per job with its matrix index, the
+/// config fingerprint, cycle/text numbers and overhead percentages.
+/// Sharded results additionally carry a "shard" member. Wall-clock and
+/// thread count are deliberately excluded so documents are byte-identical
+/// across thread counts.
 std::string to_json(const SweepResult& result);
+
+/// Merge sharded sweep documents back into the canonical unsharded one:
+/// validates schema/sweep-name/job-count agreement, requires every matrix
+/// index exactly once across the inputs, and re-emits the records in index
+/// order — byte-identical to what an unsharded run writes. Throws
+/// sofia::Error on overlap, gaps or mismatched documents.
+std::string merge_json(const std::vector<std::string>& documents);
 
 /// Built-in matrices, selectable as sofia_sweep --matrix NAME.
 const std::vector<std::string>& matrix_names();

@@ -7,43 +7,59 @@ namespace sofia::security {
 
 namespace {
 
-sim::SimConfig with_keys(sim::SimConfig config, const crypto::KeySet& keys,
-                         const xform::BlockPolicy& policy) {
-  config.keys = keys;
-  config.policy = policy;
+sim::SimConfig bounded(sim::SimConfig config) {
   // Attacked runs can loop on garbage; keep the budget bounded.
   if (config.max_cycles > 50'000'000) config.max_cycles = 50'000'000;
   return config;
 }
 
+pipeline::DeviceProfile legacy_profile(const crypto::KeySet& keys,
+                                       const xform::Options& opts) {
+  auto profile = pipeline::DeviceProfile::with_keys(keys);
+  profile.granularity = opts.granularity;
+  profile.policy = opts.policy;
+  return profile;
+}
+
+pipeline::Pipeline attack_session(const std::string& source,
+                                  pipeline::DeviceProfile profile,
+                                  sim::SimConfig base_config) {
+  auto p = pipeline::Pipeline::from_source(source, profile, "attack-victim");
+  p.set_sim_config(bounded(std::move(base_config)));
+  return p;
+}
+
 }  // namespace
+
+AttackHarness::AttackHarness(std::string source,
+                             pipeline::DeviceProfile profile,
+                             sim::SimConfig base_config)
+    : source_(std::move(source)),
+      pipeline_(attack_session(source_, profile, std::move(base_config))) {
+  pipeline_.hardened();  // force + cache the transform
+  if (!pipeline_.run().ok())
+    throw Error("attack harness: clean run failed: " +
+                std::string(to_string(pipeline_.run().status)));
+}
 
 AttackHarness::AttackHarness(std::string source, crypto::KeySet keys,
                              xform::Options opts, sim::SimConfig base_config)
-    : source_(std::move(source)),
-      keys_(keys),
-      opts_(opts),
-      config_(with_keys(base_config, keys, opts.policy)),
-      result_(xform::transform(assembler::assemble(source_), keys_, opts_)),
-      clean_(sim::run_image(result_.image, config_)) {
-  if (!clean_.ok())
-    throw Error("attack harness: clean run failed: " +
-                std::string(to_string(clean_.status)));
-}
+    : AttackHarness(std::move(source), legacy_profile(keys, opts),
+                    std::move(base_config)) {}
 
 AttackOutcome AttackHarness::run_tampered(std::string name,
                                           assembler::LoadImage image) const {
   AttackOutcome outcome;
   outcome.name = std::move(name);
-  outcome.run = sim::run_image(image, config_);
+  outcome.run = pipeline_.run_image(image);
   outcome.detected = outcome.run.status == sim::RunResult::Status::kReset;
-  outcome.output_clean = outcome.run.output == clean_.output;
+  outcome.output_clean = outcome.run.output == clean_run().output;
   return outcome;
 }
 
 AttackOutcome AttackHarness::flip_bit(std::uint32_t word_index,
                                       unsigned bit) const {
-  auto image = result_.image;
+  auto image = transformed().image;
   image.text.at(word_index) ^= (1u << (bit & 31));
   return run_tampered("flip-bit w" + std::to_string(word_index) + " b" +
                           std::to_string(bit),
@@ -52,7 +68,7 @@ AttackOutcome AttackHarness::flip_bit(std::uint32_t word_index,
 
 AttackOutcome AttackHarness::patch_word(std::uint32_t word_index,
                                         std::uint32_t value) const {
-  auto image = result_.image;
+  auto image = transformed().image;
   image.text.at(word_index) = value;
   return run_tampered("patch-word w" + std::to_string(word_index),
                       std::move(image));
@@ -60,7 +76,7 @@ AttackOutcome AttackHarness::patch_word(std::uint32_t word_index,
 
 AttackOutcome AttackHarness::relocate_word(std::uint32_t from_index,
                                            std::uint32_t to_index) const {
-  auto image = result_.image;
+  auto image = transformed().image;
   image.text.at(to_index) = image.text.at(from_index);
   return run_tampered("relocate-word " + std::to_string(from_index) + "->" +
                           std::to_string(to_index),
@@ -69,8 +85,8 @@ AttackOutcome AttackHarness::relocate_word(std::uint32_t from_index,
 
 AttackOutcome AttackHarness::splice_block(std::uint32_t from_block,
                                           std::uint32_t to_block) const {
-  auto image = result_.image;
-  const std::uint32_t b = opts_.policy.words_per_block;
+  auto image = transformed().image;
+  const std::uint32_t b = pipeline_.profile().policy.words_per_block;
   for (std::uint32_t j = 0; j < b; ++j)
     image.text.at(to_block * b + j) = image.text.at(from_block * b + j);
   return run_tampered("splice-block " + std::to_string(from_block) + "->" +
@@ -82,12 +98,13 @@ AttackOutcome AttackHarness::cross_version_splice(
     std::uint16_t other_omega, std::uint32_t block_index) const {
   // Build the same program as a different version (new omega), then graft
   // one of its blocks into the current binary.
-  crypto::KeySet other_keys = keys_;
-  other_keys.omega = other_omega;
-  const auto other =
-      xform::transform(assembler::assemble(source_), other_keys, opts_);
-  auto image = result_.image;
-  const std::uint32_t b = opts_.policy.words_per_block;
+  pipeline::DeviceProfile other_profile = pipeline_.profile();
+  other_profile.omega_override = other_omega;
+  auto other_session =
+      pipeline::Pipeline::from_source(source_, other_profile, "other-version");
+  const auto& other = other_session.hardened();
+  auto image = transformed().image;
+  const std::uint32_t b = pipeline_.profile().policy.words_per_block;
   for (std::uint32_t j = 0; j < b; ++j)
     image.text.at(block_index * b + j) = other.image.text.at(block_index * b + j);
   return run_tampered("cross-version-splice block " + std::to_string(block_index),
@@ -100,7 +117,7 @@ std::vector<AttackOutcome> AttackHarness::random_bit_flips(Rng& rng,
   outcomes.reserve(static_cast<std::size_t>(count));
   for (int i = 0; i < count; ++i) {
     const auto word =
-        static_cast<std::uint32_t>(rng.next_below(result_.image.text.size()));
+        static_cast<std::uint32_t>(rng.next_below(transformed().image.text.size()));
     const auto bit = static_cast<unsigned>(rng.next_below(32));
     outcomes.push_back(flip_bit(word, bit));
   }
@@ -185,60 +202,65 @@ void patch_table_entry(assembler::LoadImage& image, std::uint32_t value) {
 
 }  // namespace
 
+namespace {
+
+/// One pipeline session per demo victim: the historical demos ran with
+/// Alg. 1's per-word CTR (xform::Options defaults), so the profile keeps
+/// that granularity.
+pipeline::Pipeline demo_session(const char* source,
+                                const crypto::KeySet& keys) {
+  auto profile = pipeline::DeviceProfile::with_keys(keys);
+  profile.granularity = crypto::Granularity::kPerWord;
+  auto p = pipeline::Pipeline::from_source(source, profile, "cf-attack-demo");
+  sim::SimConfig config;
+  config.max_cycles = 10'000'000;  // attacked runs can loop on garbage
+  p.set_sim_config(config);
+  return p;
+}
+
+}  // namespace
+
 JopDemo run_jop_demo(const crypto::KeySet& keys) {
   JopDemo demo;
-  const auto prog = assembler::assemble(kJopVictimSource);
+  auto session = demo_session(kJopVictimSource, keys);
 
-  const assembler::MemoryLayout mem;
-  auto vanilla_img = assembler::link_vanilla(prog, mem);
-  sim::SimConfig vconfig;
-  demo.vanilla_clean = sim::run_image(vanilla_img, vconfig);
-  patch_table_entry(vanilla_img, assembler::resolve_vanilla(prog, mem, "gadget"));
-  demo.vanilla_attacked = sim::run_image(vanilla_img, vconfig);
+  auto vanilla_img = session.vanilla_image();
+  demo.vanilla_clean = session.run_vanilla();
+  patch_table_entry(vanilla_img,
+                    assembler::resolve_vanilla(session.program(), {}, "gadget"));
+  demo.vanilla_attacked = session.run_image(vanilla_img);
 
-  const xform::Options opts;
-  auto result = xform::transform(prog, keys, opts);
-  sim::SimConfig sconfig;
-  sconfig.keys = keys;
-  sconfig.policy = opts.policy;
-  sconfig.max_cycles = 10'000'000;
-  demo.sofia_clean = sim::run_image(result.image, sconfig);
+  const auto& result = session.hardened();
+  demo.sofia_clean = session.run();
   // The attacker aims at the gadget's canonical (placed) address — the same
   // value `la` would materialize, so the comparison chain sees a perfect
   // but unlisted pointer.
   const std::uint32_t gadget_index = result.normalized.text_labels.at("gadget");
-  patch_table_entry(result.image, result.layout.placed_addr(gadget_index));
-  demo.sofia_attacked = sim::run_image(result.image, sconfig);
+  auto tampered = result.image;
+  patch_table_entry(tampered, result.layout.placed_addr(gadget_index));
+  demo.sofia_attacked = session.run_image(tampered);
   return demo;
 }
 
 RopDemo run_rop_demo(const crypto::KeySet& keys) {
   RopDemo demo;
-  const auto prog = assembler::assemble(kVictimSource);
+  auto session = demo_session(kVictimSource, keys);
 
   // Vanilla target.
-  const assembler::MemoryLayout mem;
-  auto vanilla_img = assembler::link_vanilla(prog, mem);
-  sim::SimConfig vconfig;
-  demo.vanilla_clean = sim::run_image(vanilla_img, vconfig);
-  const std::uint32_t vanilla_gadget =
-      assembler::resolve_vanilla(prog, mem, "gadget");
-  patch_attacker_input(vanilla_img, vanilla_gadget);
-  demo.vanilla_attacked = sim::run_image(vanilla_img, vconfig);
+  auto vanilla_img = session.vanilla_image();
+  demo.vanilla_clean = session.run_vanilla();
+  patch_attacker_input(vanilla_img,
+                       assembler::resolve_vanilla(session.program(), {}, "gadget"));
+  demo.vanilla_attacked = session.run_image(vanilla_img);
 
   // SOFIA target: the attacker knows the transformed layout (Kerckhoffs)
   // and aims at the base of the gadget's block.
-  const xform::Options opts;
-  auto result = xform::transform(prog, keys, opts);
-  sim::SimConfig sconfig;
-  sconfig.keys = keys;
-  sconfig.policy = opts.policy;
-  sconfig.max_cycles = 10'000'000;
-  demo.sofia_clean = sim::run_image(result.image, sconfig);
+  const auto& result = session.hardened();
+  demo.sofia_clean = session.run();
   const std::uint32_t gadget_index = result.normalized.text_labels.at("gadget");
-  const std::uint32_t sofia_gadget = result.layout.block_base_addr(gadget_index);
-  patch_attacker_input(result.image, sofia_gadget);
-  demo.sofia_attacked = sim::run_image(result.image, sconfig);
+  auto tampered = result.image;
+  patch_attacker_input(tampered, result.layout.block_base_addr(gadget_index));
+  demo.sofia_attacked = session.run_image(tampered);
   return demo;
 }
 

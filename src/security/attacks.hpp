@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "crypto/key_set.hpp"
+#include "pipeline/pipeline.hpp"
 #include "sim/machine.hpp"
 #include "support/rng.hpp"
 #include "xform/transform.hpp"
@@ -26,14 +27,24 @@ struct AttackOutcome {
   bool output_clean = false;     ///< console output identical to clean run
 };
 
-/// Fixture: one program transformed once, attacked many ways.
+/// Fixture: one program transformed once (through a pipeline::Pipeline
+/// session), attacked many ways.
 class AttackHarness {
  public:
+  /// Preferred: the device under attack described by one DeviceProfile.
+  AttackHarness(std::string source, pipeline::DeviceProfile profile,
+                sim::SimConfig base_config = {});
+
+  /// Legacy spelling over raw key material + transform options (kept so
+  /// callers that sweep xform::Options keep compiling); granularity and
+  /// policy are lifted from `opts` into the profile.
   AttackHarness(std::string source, crypto::KeySet keys,
                 xform::Options opts = {}, sim::SimConfig base_config = {});
 
-  const xform::TransformResult& transformed() const { return result_; }
-  const sim::RunResult& clean_run() const { return clean_; }
+  // Accessors delegate to the session's cached stages (computed in the
+  // constructor) — one copy of the hardened image, owned by the pipeline.
+  const xform::TransformResult& transformed() const { return pipeline_.hardened(); }
+  const sim::RunResult& clean_run() const { return pipeline_.run(); }
 
   /// Code injection: flip one ciphertext bit.
   AttackOutcome flip_bit(std::uint32_t word_index, unsigned bit) const;
@@ -64,11 +75,9 @@ class AttackHarness {
                              assembler::LoadImage image) const;
 
   std::string source_;
-  crypto::KeySet keys_;
-  xform::Options opts_;
-  sim::SimConfig config_;
-  xform::TransformResult result_;
-  sim::RunResult clean_;
+  /// mutable: the lazy stage accessors are non-const but cached — the
+  /// constructor forces them, so const methods only ever hit the cache.
+  mutable pipeline::Pipeline pipeline_;
 };
 
 /// The ROP-style demonstration (paper §IV-A-2): a victim with a

@@ -3,10 +3,9 @@
 #include <cmath>
 #include <vector>
 
-#include "assembler/link.hpp"
 #include "crypto/cbc_mac.hpp"
+#include "pipeline/pipeline.hpp"
 #include "sim/machine.hpp"
-#include "xform/transform.hpp"
 
 namespace sofia::security {
 
@@ -69,19 +68,17 @@ DetectionExperiment run_detection_experiment(const crypto::KeySet& keys,
 FaultCampaign run_fault_campaign(const std::string& source,
                                  const crypto::KeySet& keys, bool sofia,
                                  std::uint64_t trials, Rng& rng) {
-  const auto program = assembler::assemble(source);
-  assembler::LoadImage image;
+  // One session covers both targets: the hardened image for the SOFIA
+  // campaign, the sequential baseline for the vanilla one (paper §III
+  // per-pair CTR, as in every measurement).
+  auto session = pipeline::Pipeline::from_source(
+      source, pipeline::DeviceProfile::with_keys(keys), "fault-campaign");
   sim::SimConfig config;
   config.max_cycles = 20'000'000;
-  if (sofia) {
-    xform::Options opts;
-    opts.granularity = crypto::Granularity::kPerPair;
-    image = xform::transform(program, keys, opts).image;
-    config.keys = keys;
-  } else {
-    image = assembler::link_vanilla(program);
-  }
-  const auto clean = sim::run_image(image, config);
+  session.set_sim_config(config);
+  const assembler::LoadImage& image =
+      sofia ? session.image() : session.vanilla_image();
+  const sim::RunResult& clean = sofia ? session.run() : session.run_vanilla();
   const std::uint64_t clean_fetches = clean.stats.fetch_words;
 
   FaultCampaign campaign;
@@ -95,7 +92,7 @@ FaultCampaign run_fault_campaign(const std::string& source,
         sofia ? clean_fetches + clean.stats.mac_words : clean_fetches;
     faulty.fault.fetch_index = rng.next_below(std::max<std::uint64_t>(1, span));
     faulty.fault.bit = static_cast<unsigned>(rng.next_below(32));
-    const auto run = sim::run_image(image, faulty);
+    const auto run = session.run_image(image, faulty);
     if (run.status == sim::RunResult::Status::kReset)
       ++campaign.detected;
     else if (run.ok() && run.output == clean.output)

@@ -1,7 +1,11 @@
 #include "support/json.hpp"
 
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+
+#include "support/error.hpp"
 
 namespace sofia::json {
 
@@ -131,5 +135,237 @@ Writer& Writer::null() {
   out_ += "null";
   return *this;
 }
+
+Writer& Writer::raw_number(std::string_view token) {
+  before_value();
+  out_ += token;
+  return *this;
+}
+
+// ---------------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class ParserImpl {
+ public:
+  explicit ParserImpl(std::string_view text) : text_(text) {}
+
+  Value document() {
+    Value v = value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing garbage after document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw Error("json: " + what + " at byte " + std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad \\u escape digit");
+          }
+          // The writer only emits \u00xx for control bytes; decode the
+          // BMP point as UTF-8 for generality.
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: fail("bad escape character");
+      }
+    }
+  }
+
+  Value value() {
+    skip_ws();
+    const char c = peek();
+    Value v;
+    if (c == '{') {
+      ++pos_;
+      v.kind = Value::Kind::kObject;
+      skip_ws();
+      if (peek() == '}') { ++pos_; return v; }
+      for (;;) {
+        skip_ws();
+        std::string key = parse_string();
+        skip_ws();
+        expect(':');
+        v.object.emplace_back(std::move(key), value());
+        skip_ws();
+        if (peek() == ',') { ++pos_; continue; }
+        expect('}');
+        return v;
+      }
+    }
+    if (c == '[') {
+      ++pos_;
+      v.kind = Value::Kind::kArray;
+      skip_ws();
+      if (peek() == ']') { ++pos_; return v; }
+      for (;;) {
+        v.array.push_back(value());
+        skip_ws();
+        if (peek() == ',') { ++pos_; continue; }
+        expect(']');
+        return v;
+      }
+    }
+    if (c == '"') {
+      v.kind = Value::Kind::kString;
+      v.string = parse_string();
+      return v;
+    }
+    if (consume_literal("true")) {
+      v.kind = Value::Kind::kBool;
+      v.boolean = true;
+      return v;
+    }
+    if (consume_literal("false")) {
+      v.kind = Value::Kind::kBool;
+      v.boolean = false;
+      return v;
+    }
+    if (consume_literal("null")) return v;
+    // Number: keep the verbatim token.
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size()) {
+      const char d = text_[pos_];
+      if ((d >= '0' && d <= '9') || d == '.' || d == 'e' || d == 'E' ||
+          d == '+' || d == '-') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) fail("unexpected character");
+    v.kind = Value::Kind::kNumber;
+    v.number = std::string(text_.substr(start, pos_ - start));
+    return v;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+const Value* Value::find(std::string_view key) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : object)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+const std::string& Value::as_string(std::string_view context) const {
+  if (kind != Kind::kString)
+    throw Error("json: " + std::string(context) + " is not a string");
+  return string;
+}
+
+std::uint64_t Value::as_uint(std::string_view context) const {
+  if (kind != Kind::kNumber)
+    throw Error("json: " + std::string(context) + " is not a number");
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(number.c_str(), &end, 10);
+  if (errno != 0 || end != number.c_str() + number.size())
+    throw Error("json: " + std::string(context) + " is not an unsigned integer");
+  return v;
+}
+
+const std::vector<Value>& Value::as_array(std::string_view context) const {
+  if (kind != Kind::kArray)
+    throw Error("json: " + std::string(context) + " is not an array");
+  return array;
+}
+
+void Value::write(Writer& w) const {
+  switch (kind) {
+    case Kind::kNull: w.null(); break;
+    case Kind::kBool: w.value(boolean); break;
+    case Kind::kNumber: w.raw_number(number); break;
+    case Kind::kString: w.value(string); break;
+    case Kind::kArray:
+      w.begin_array();
+      for (const auto& v : array) v.write(w);
+      w.end_array();
+      break;
+    case Kind::kObject:
+      w.begin_object();
+      for (const auto& [k, v] : object) {
+        w.key(k);
+        v.write(w);
+      }
+      w.end_object();
+      break;
+  }
+}
+
+Value parse(std::string_view text) { return ParserImpl(text).document(); }
 
 }  // namespace sofia::json

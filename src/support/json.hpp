@@ -2,8 +2,12 @@
 // (driver/sweep emits BENCH_sweep.json-style documents with it). Emission
 // is fully deterministic — keys appear in call order and numbers are
 // formatted by fixed rules — so two runs of the same experiment produce
-// byte-identical documents regardless of thread interleaving. Writing only:
-// the repo never parses JSON, so no reader lives here.
+// byte-identical documents regardless of thread interleaving.
+//
+// A small reader (parse/Value) exists for exactly one consumer: the
+// sharded-sweep merge (sofia_sweep --merge), which must re-emit documents
+// this repo wrote *byte-identically*. The Value tree therefore preserves
+// object member order and the verbatim source text of numbers.
 #pragma once
 
 #include <cstdint>
@@ -64,6 +68,37 @@ class Writer {
   std::vector<Scope> stack_;
   int indent_;
   bool pending_key_ = false;
+
+  friend struct Value;  ///< Value::write() emits number tokens verbatim
+  Writer& raw_number(std::string_view token);
 };
+
+/// Parsed JSON value. Object member order and the exact source text of
+/// numbers are preserved so write() round-trips byte-identically for
+/// documents produced by Writer.
+struct Value {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  std::string number;  ///< verbatim source token, e.g. "185.6" or "-7"
+  std::string string;
+  std::vector<Value> array;
+  std::vector<std::pair<std::string, Value>> object;  ///< in source order
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const Value* find(std::string_view key) const;
+
+  // Typed accessors; throw sofia::Error naming `context` on kind mismatch.
+  const std::string& as_string(std::string_view context) const;
+  std::uint64_t as_uint(std::string_view context) const;
+  const std::vector<Value>& as_array(std::string_view context) const;
+
+  /// Re-emit through a Writer (numbers verbatim, strings re-escaped).
+  void write(Writer& w) const;
+};
+
+/// Parse a complete JSON document; throws sofia::Error (with byte offset)
+/// on malformed input or trailing garbage.
+Value parse(std::string_view text);
 
 }  // namespace sofia::json

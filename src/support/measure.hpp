@@ -1,102 +1,50 @@
-// Shared measurement harness for the experiment-reproduction benches and the
-// sofia_report tool: run a workload on the vanilla core and through the full
-// SOFIA pipeline, and combine cycle counts with the hardware model's clock
-// estimates into total-execution-time overheads (the paper's headline
-// metric). Lives in src/ so tools never have to reach into bench/.
+// Thin measurement veneer over pipeline::Pipeline for the benches, the
+// sweep driver and sofia_report: one call = one workload measured on the
+// vanilla core and through the full SOFIA pipeline. The heavy lifting
+// (staging, caching, golden-output validation, error context) lives in
+// src/pipeline/; this header only binds a MeasureOptions bundle to a
+// one-shot call and keeps the historical bench:: names alive.
 #pragma once
 
 #include <cstdio>
-#include <string>
 
-#include "assembler/link.hpp"
-#include "crypto/key_set.hpp"
-#include "hw/hw_model.hpp"
-#include "sim/machine.hpp"
-#include "support/error.hpp"
-#include "workloads/workloads.hpp"
-#include "xform/transform.hpp"
+#include "pipeline/pipeline.hpp"
 
 namespace sofia::bench {
+
+/// The vanilla-vs-SOFIA comparison record (see pipeline::Measurement).
+using Measurement = pipeline::Measurement;
 
 inline crypto::KeySet bench_keys() {
   // The paper's cipher for all measurements.
   return crypto::KeySet::example(crypto::CipherKind::kRectangle80);
 }
 
-struct Measurement {
-  std::string name;
-  std::uint32_t vanilla_text_bytes = 0;
-  std::uint32_t sofia_text_bytes = 0;
-  std::uint64_t vanilla_cycles = 0;
-  std::uint64_t sofia_cycles = 0;
-  sim::SimStats vanilla_stats;
-  sim::SimStats sofia_stats;
-
-  double size_ratio() const {
-    return static_cast<double>(sofia_text_bytes) / vanilla_text_bytes;
-  }
-  double cycle_overhead_pct() const {
-    return hw::overhead_pct(static_cast<double>(vanilla_cycles),
-                            static_cast<double>(sofia_cycles));
-  }
-  /// Total execution-time overhead using the hardware model's clocks.
-  double time_overhead_pct(const hw::HwModel& model, int unroll_cycles) const {
-    const double tv = hw::execution_time_ms(vanilla_cycles,
-                                            model.vanilla().clock_mhz);
-    const double ts = hw::execution_time_ms(sofia_cycles,
-                                            model.sofia(unroll_cycles).clock_mhz);
-    return hw::overhead_pct(tv, ts);
-  }
-};
-
 struct MeasureOptions {
-  xform::Options transform;
-  sim::SimConfig config;  ///< keys/policy filled in by measure()
-  /// Cipher used for the SOFIA keys (the paper measures RECTANGLE-80).
-  crypto::CipherKind cipher_kind = crypto::CipherKind::kRectangle80;
+  /// Cipher + key material + block policy + CTR granularity — the single
+  /// source of truth stamped onto both the toolchain and the device.
+  pipeline::DeviceProfile profile;
+  /// Simulator timing knobs; keys/policy are filled from the profile.
+  sim::SimConfig config;
+  assembler::MemoryLayout mem;
 };
 
 inline MeasureOptions default_measure_options() {
-  MeasureOptions m;
-  // The hardware-faithful configuration (paper §III): pair-granular CTR.
-  m.transform.granularity = crypto::Granularity::kPerPair;
-  return m;
+  // DeviceProfile::paper_default() is the hardware-faithful configuration
+  // (paper §III): RECTANGLE-80, pair-granular CTR, 8-word blocks.
+  return MeasureOptions{};
 }
 
 /// Run one workload both ways; throws on any functional mismatch with the
 /// golden model (a benchmark must never report numbers for a broken run).
 inline Measurement measure_workload(const workloads::WorkloadSpec& spec,
                                     std::uint64_t seed, std::uint32_t size,
-                                    MeasureOptions opts = default_measure_options()) {
-  const std::string src = spec.source(seed, size);
-  const std::string expected = spec.golden(seed, size);
-  const auto prog = assembler::assemble(src);
-
-  Measurement m;
-  m.name = spec.name;
-
-  const auto vimg = assembler::link_vanilla(prog, opts.transform.mem);
-  sim::SimConfig vconfig = opts.config;
-  const auto vres = sim::run_image(vimg, vconfig);
-  if (!vres.ok() || vres.output != expected)
-    throw Error("bench: vanilla run of " + spec.name + " failed");
-  m.vanilla_text_bytes = vimg.text_bytes();
-  m.vanilla_cycles = vres.stats.cycles;
-  m.vanilla_stats = vres.stats;
-
-  const auto keys = crypto::KeySet::example(opts.cipher_kind);
-  const auto result = xform::transform(prog, keys, opts.transform);
-  sim::SimConfig sconfig = opts.config;
-  sconfig.keys = keys;
-  sconfig.policy = opts.transform.policy;
-  const auto sres = sim::run_image(result.image, sconfig);
-  if (!sres.ok() || sres.output != expected)
-    throw Error("bench: SOFIA run of " + spec.name + " failed (" +
-                std::string(to_string(sres.status)) + ")");
-  m.sofia_text_bytes = result.image.text_bytes();
-  m.sofia_cycles = sres.stats.cycles;
-  m.sofia_stats = sres.stats;
-  return m;
+                                    const MeasureOptions& opts =
+                                        default_measure_options()) {
+  auto p = pipeline::Pipeline::from_workload(spec, seed, size, opts.profile);
+  p.set_sim_config(opts.config);
+  p.set_memory_layout(opts.mem);
+  return p.measure();
 }
 
 inline void print_rule(int width = 78) {

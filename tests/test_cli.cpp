@@ -1,0 +1,146 @@
+// Tests for the declarative CLI flag parser (src/support/cli.hpp) the five
+// tools build their front ends on: typed flags, --flag=value, positional
+// handling, the generated usage text and the uniform rejection semantics
+// (unknown flag / missing value / malformed number -> exit 2 by
+// convention, surfaced here as Result::Status::kError).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "support/cli.hpp"
+
+namespace sofia::cli {
+namespace {
+
+Parser::Result parse(const Parser& p, std::vector<const char*> args) {
+  args.insert(args.begin(), "tool");
+  return p.parse(static_cast<int>(args.size()), args.data());
+}
+
+TEST(Cli, ParsesTypedFlagsAndOptions) {
+  bool verbose = false;
+  std::string name;
+  std::uint32_t count = 7;
+  std::uint64_t seed = 0;
+  Parser p("tool");
+  p.flag("--verbose", verbose, "chatty")
+      .option("--name", name, "s", "a string")
+      .option("--count", count, "n", "a u32")
+      .option("--seed", seed, "n", "a u64");
+  const auto r = parse(p, {"--verbose", "--name", "abc", "--seed", "0x10"});
+  ASSERT_TRUE(r.ok()) << r.message;
+  EXPECT_TRUE(verbose);
+  EXPECT_EQ(name, "abc");
+  EXPECT_EQ(count, 7u);  // untouched default
+  EXPECT_EQ(seed, 0x10u);
+}
+
+TEST(Cli, AcceptsEqualsSyntax) {
+  std::string name;
+  std::uint32_t count = 0;
+  Parser p("tool");
+  p.option("--name", name, "s", "").option("--count", count, "n", "");
+  ASSERT_TRUE(parse(p, {"--name=x=y", "--count=12"}).ok());
+  EXPECT_EQ(name, "x=y");  // only the first '=' splits
+  EXPECT_EQ(count, 12u);
+}
+
+TEST(Cli, RejectsUnknownFlags) {
+  Parser p("tool");
+  const auto r = parse(p, {"--bogus"});
+  EXPECT_EQ(r.status, Parser::Result::Status::kError);
+  EXPECT_NE(r.message.find("--bogus"), std::string::npos);
+  EXPECT_EQ(parse(p, {"-x"}).status, Parser::Result::Status::kError);
+}
+
+TEST(Cli, RejectsMissingValuesAndMalformedNumbers) {
+  std::uint32_t count = 0;
+  Parser p("tool");
+  p.option("--count", count, "n", "");
+  EXPECT_EQ(parse(p, {"--count"}).status, Parser::Result::Status::kError);
+  const auto bad = parse(p, {"--count", "12abc"});
+  EXPECT_EQ(bad.status, Parser::Result::Status::kError);
+  EXPECT_NE(bad.message.find("12abc"), std::string::npos);
+  // Out-of-range for u32.
+  EXPECT_EQ(parse(p, {"--count", "4294967296"}).status,
+            Parser::Result::Status::kError);
+  // A bool flag must not take a value.
+  bool b = false;
+  Parser q("tool");
+  q.flag("--b", b, "");
+  EXPECT_EQ(parse(q, {"--b=1"}).status, Parser::Result::Status::kError);
+}
+
+TEST(Cli, PositionalsRequiredOptionalAndList) {
+  std::string in;
+  std::string out;
+  Parser p("tool");
+  p.positional("in", in).optional_positional("out", out);
+  EXPECT_EQ(parse(p, {}).status, Parser::Result::Status::kError);  // in missing
+  ASSERT_TRUE(parse(p, {"a.s"}).ok());
+  EXPECT_EQ(in, "a.s");
+  EXPECT_TRUE(out.empty());
+  ASSERT_TRUE(parse(p, {"a.s", "b.img"}).ok());
+  EXPECT_EQ(out, "b.img");
+  EXPECT_EQ(parse(p, {"a", "b", "c"}).status, Parser::Result::Status::kError);
+
+  std::string first;
+  std::vector<std::string> rest;
+  Parser q("tool");
+  q.positional("first", first).positional_list("rest", rest);
+  ASSERT_TRUE(parse(q, {"a", "b", "c"}).ok());
+  EXPECT_EQ(first, "a");
+  EXPECT_EQ(rest, (std::vector<std::string>{"b", "c"}));
+}
+
+TEST(Cli, FlagsAndPositionalsMixInAnyOrder) {
+  bool quiet = false;
+  std::string in;
+  std::string out;
+  Parser p("tool");
+  p.flag("--quiet", quiet, "").positional("in", in).positional("out", out);
+  ASSERT_TRUE(parse(p, {"a.s", "--quiet", "b.img"}).ok());
+  EXPECT_TRUE(quiet);
+  EXPECT_EQ(in, "a.s");
+  EXPECT_EQ(out, "b.img");
+}
+
+TEST(Cli, HelpShortCircuits) {
+  std::string in;
+  Parser p("tool");
+  p.positional("in", in);
+  EXPECT_EQ(parse(p, {"--help"}).status, Parser::Result::Status::kHelp);
+  EXPECT_EQ(parse(p, {"-h"}).status, Parser::Result::Status::kHelp);
+}
+
+TEST(Cli, UsageNamesEveryFlagAndPositional) {
+  bool v = false;
+  std::uint32_t n = 0;
+  std::string in;
+  Parser p("tool", "does a thing");
+  p.flag("--verbose", v, "chatty").option("--count", n, "N", "how many");
+  p.positional("input.s", in);
+  const auto u = p.usage();
+  EXPECT_NE(u.find("usage: tool"), std::string::npos) << u;
+  EXPECT_NE(u.find("does a thing"), std::string::npos) << u;
+  EXPECT_NE(u.find("--verbose"), std::string::npos) << u;
+  EXPECT_NE(u.find("--count <N>"), std::string::npos) << u;
+  EXPECT_NE(u.find("how many"), std::string::npos) << u;
+  EXPECT_NE(u.find("input.s"), std::string::npos) << u;
+  EXPECT_NE(u.find("--help"), std::string::npos) << u;
+}
+
+TEST(Cli, ParseNumberIsStrict) {
+  std::uint64_t v = 0;
+  EXPECT_TRUE(parse_number("42", v));
+  EXPECT_EQ(v, 42u);
+  EXPECT_TRUE(parse_number("0xff", v));
+  EXPECT_EQ(v, 255u);
+  EXPECT_FALSE(parse_number("", v));
+  EXPECT_FALSE(parse_number("12abc", v));
+  EXPECT_FALSE(parse_number("abc", v));
+}
+
+}  // namespace
+}  // namespace sofia::cli

@@ -169,7 +169,7 @@ TEST(Sweep, JobFailureIsCapturedNotThrown) {
   auto spec = small_spec();
   spec.workloads = {"fib"};
   // An unusable block geometry makes the transform throw inside the job.
-  spec.configs[0].opts.transform.policy.words_per_block = 3;
+  spec.configs[0].opts.profile.policy.words_per_block = 3;
   spec.configs.resize(1);
   const auto result = driver::run_sweep(spec, 1);
   ASSERT_EQ(result.jobs.size(), 1u);
@@ -194,8 +194,9 @@ TEST(Sweep, JsonCarriesSchemaAndPerJobRecords) {
   spec.workloads = {"fib"};
   spec.configs.resize(1);
   const auto doc = driver::to_json(driver::run_sweep(spec, 1));
-  EXPECT_NE(doc.find("\"schema\": \"sofia-sweep-v1\""), std::string::npos);
+  EXPECT_NE(doc.find("\"schema\": \"sofia-sweep-v2\""), std::string::npos);
   EXPECT_NE(doc.find("\"sweep\": \"unit\""), std::string::npos);
+  EXPECT_NE(doc.find("\"index\": 0"), std::string::npos);
   EXPECT_NE(doc.find("\"workload\": \"fib\""), std::string::npos);
   EXPECT_NE(doc.find("\"fingerprint\": \"gran=per-pair"), std::string::npos);
   EXPECT_NE(doc.find("\"cycles\""), std::string::npos);
@@ -212,6 +213,103 @@ TEST(Sweep, ProgressCallbackFiresOncePerJob) {
   const auto result =
       driver::run_sweep(spec, 4, [&](const driver::JobResult&) { ++calls; });
   EXPECT_EQ(calls, static_cast<int>(result.jobs.size()));
+}
+
+// ---------------------------------------------------------------------------
+// Sharding + merge (the multi-machine path)
+// ---------------------------------------------------------------------------
+
+TEST(Json, ParseRoundTripsWriterOutput) {
+  json::Writer w(2);
+  w.begin_object();
+  w.member("s", "a\"b\n");
+  w.member("i", static_cast<std::uint64_t>(42));
+  w.member("f", 2.537);
+  w.member("t", true);
+  w.key("n").null();
+  w.key("arr").begin_array().value(1).value("x").end_array();
+  w.key("obj").begin_object().member("k", 7).end_object();
+  w.end_object();
+  const std::string doc = w.str();
+
+  const auto v = json::parse(doc);
+  ASSERT_EQ(v.kind, json::Value::Kind::kObject);
+  EXPECT_EQ(v.find("s")->string, "a\"b\n");
+  EXPECT_EQ(v.find("i")->as_uint("i"), 42u);
+  EXPECT_EQ(v.find("f")->number, "2.537");  // verbatim source token
+  EXPECT_TRUE(v.find("t")->boolean);
+  EXPECT_EQ(v.find("n")->kind, json::Value::Kind::kNull);
+  ASSERT_EQ(v.find("arr")->array.size(), 2u);
+
+  // Re-emission through a Writer is byte-identical: the property the
+  // sharded-sweep merge rests on.
+  json::Writer w2(2);
+  v.write(w2);
+  EXPECT_EQ(w2.str(), doc);
+}
+
+TEST(Json, ParseRejectsMalformedInput) {
+  EXPECT_THROW(json::parse("{"), Error);
+  EXPECT_THROW(json::parse("{} trailing"), Error);
+  EXPECT_THROW(json::parse("{\"a\": }"), Error);
+  EXPECT_THROW(json::parse("\"unterminated"), Error);
+}
+
+TEST(Shard, ParseAndValidate) {
+  const auto s = driver::ShardSpec::parse("1/3");
+  EXPECT_EQ(s.index, 1u);
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_FALSE(s.is_whole());
+  EXPECT_TRUE(driver::ShardSpec{}.is_whole());
+  EXPECT_THROW(driver::ShardSpec::parse("3/3"), Error);   // index out of range
+  EXPECT_THROW(driver::ShardSpec::parse("0/0"), Error);   // zero shards
+  EXPECT_THROW(driver::ShardSpec::parse("nope"), Error);  // no slash
+  EXPECT_THROW(driver::ShardSpec::parse("1/x"), Error);   // non-decimal
+}
+
+TEST(Shard, RunsOnlyTheSlice) {
+  const auto spec = small_spec();  // 6 jobs
+  const auto shard0 = driver::run_sweep(spec, 1, {}, {0, 2});
+  const auto shard1 = driver::run_sweep(spec, 1, {}, {1, 2});
+  EXPECT_EQ(shard0.total_jobs, 6u);
+  ASSERT_EQ(shard0.jobs.size(), 3u);
+  ASSERT_EQ(shard1.jobs.size(), 3u);
+  for (const auto& job : shard0.jobs) EXPECT_EQ(job.job.index % 2, 0u);
+  for (const auto& job : shard1.jobs) EXPECT_EQ(job.job.index % 2, 1u);
+}
+
+TEST(Shard, ShardedDocumentsCarryTheShardMember) {
+  const auto doc = driver::to_json(driver::run_sweep(small_spec(), 1, {}, {1, 2}));
+  EXPECT_NE(doc.find("\"shard\": \"1/2\""), std::string::npos);
+  EXPECT_NE(doc.find("\"job_count\": 6"), std::string::npos);  // full matrix
+}
+
+TEST(Shard, MergeReassemblesTheCanonicalDocumentByteIdentically) {
+  // The ROADMAP contract: shard(2) + merge == unsharded, byte for byte.
+  const auto spec = small_spec();
+  const auto unsharded = driver::to_json(driver::run_sweep(spec, 1));
+  const auto doc0 = driver::to_json(driver::run_sweep(spec, 2, {}, {0, 2}));
+  const auto doc1 = driver::to_json(driver::run_sweep(spec, 2, {}, {1, 2}));
+  EXPECT_NE(doc0, unsharded);
+  // Merge order must not matter.
+  EXPECT_EQ(driver::merge_json({doc0, doc1}), unsharded);
+  EXPECT_EQ(driver::merge_json({doc1, doc0}), unsharded);
+  // Merging the unsharded document is the identity.
+  EXPECT_EQ(driver::merge_json({unsharded}), unsharded);
+}
+
+TEST(Shard, MergeRejectsGapsOverlapsAndMismatches) {
+  const auto spec = small_spec();
+  const auto doc0 = driver::to_json(driver::run_sweep(spec, 1, {}, {0, 2}));
+  const auto doc1 = driver::to_json(driver::run_sweep(spec, 1, {}, {1, 2}));
+  EXPECT_THROW(driver::merge_json({}), Error);
+  EXPECT_THROW(driver::merge_json({doc0}), Error);        // gap: odd indices
+  EXPECT_THROW(driver::merge_json({doc0, doc0}), Error);  // duplicate indices
+  auto other = spec;
+  other.name = "other-sweep";
+  const auto doc_other = driver::to_json(driver::run_sweep(other, 1, {}, {1, 2}));
+  EXPECT_THROW(driver::merge_json({doc0, doc_other}), Error);
+  EXPECT_THROW(driver::merge_json({doc0, "not json"}), Error);
 }
 
 TEST(Sweep, SmokeShrinksButKeepsConfigs) {

@@ -32,8 +32,15 @@ TEST(Measure, TimeOverheadUsesHwClocks) {
 }
 
 TEST(Measure, DefaultOptionsArePairGranular) {
-  EXPECT_EQ(bench::default_measure_options().transform.granularity,
+  EXPECT_EQ(bench::default_measure_options().profile.granularity,
             crypto::Granularity::kPerPair);
+}
+
+TEST(Measure, DefaultProfileIsThePaperDevice) {
+  const auto& profile = bench::default_measure_options().profile;
+  EXPECT_EQ(profile.cipher, crypto::CipherKind::kRectangle80);
+  EXPECT_EQ(profile.key_source, pipeline::KeySource::kExample);
+  EXPECT_EQ(profile.policy, xform::BlockPolicy::paper_default());
 }
 
 TEST(Measure, WorkloadRoundTrip) {

@@ -192,9 +192,119 @@ TEST_F(Tools, SweepSmokeJsonIdenticalAcrossThreadCounts) {
   const auto doc1 = slurp(json1);
   EXPECT_FALSE(doc1.empty());
   EXPECT_EQ(doc1, slurp(json8));
-  EXPECT_NE(doc1.find("\"schema\": \"sofia-sweep-v1\""), std::string::npos);
+  EXPECT_NE(doc1.find("\"schema\": \"sofia-sweep-v2\""), std::string::npos);
   std::remove(json1.c_str());
   std::remove(json8.c_str());
+}
+
+TEST_F(Tools, AssembleRunSpeck64) {
+  // The --cipher axis round-trips: a Speck64-keyed image is runnable from
+  // the CLI when the device profile names the same cipher.
+  int code = 0;
+  const auto asm_out = run_command(
+      std::string(SOFIA_ASM_BIN) + " --cipher speck64 --key-seed 5 " + src_ +
+          " " + img_, &code);
+  ASSERT_EQ(code, 0) << asm_out;
+  const auto run_out = run_command(
+      std::string(SOFIA_RUN_BIN) + " --cipher speck64 --key-seed 5 " + img_,
+      &code);
+  EXPECT_EQ(code, 33) << run_out;
+  EXPECT_NE(run_out.find("status=exited"), std::string::npos) << run_out;
+}
+
+TEST_F(Tools, CipherMismatchResetsInsteadOfCrashing) {
+  // Image built for a Speck64 device, run on the default RECTANGLE-80
+  // device: architectural reset (mac-mismatch), exit 3 — never a crash.
+  int code = 0;
+  run_command(std::string(SOFIA_ASM_BIN) + " --quiet --cipher speck64 " + src_ +
+                  " " + img_, &code);
+  ASSERT_EQ(code, 0);
+  const auto run_out = run_command(std::string(SOFIA_RUN_BIN) + " " + img_, &code);
+  EXPECT_EQ(code, 3) << run_out;
+  EXPECT_NE(run_out.find("status=reset"), std::string::npos) << run_out;
+  EXPECT_NE(run_out.find("mac-mismatch"), std::string::npos) << run_out;
+}
+
+TEST_F(Tools, UnknownCipherRejected) {
+  int code = 0;
+  const auto out = run_command(
+      std::string(SOFIA_ASM_BIN) + " --cipher des " + src_ + " " + img_, &code);
+  EXPECT_EQ(code, 1) << out;
+  EXPECT_NE(out.find("unknown cipher"), std::string::npos) << out;
+}
+
+TEST_F(Tools, EveryToolRejectsUnknownFlagsWithUsage) {
+  // The shared CLI layer: unknown flag -> diagnostic + usage, exit 2,
+  // uniformly across all five front-ends.
+  for (const char* tool : {SOFIA_ASM_BIN, SOFIA_RUN_BIN, SOFIA_OBJDUMP_BIN,
+                           SOFIA_REPORT_BIN, SOFIA_SWEEP_BIN}) {
+    int code = 0;
+    const auto out = run_command(std::string(tool) + " --frobnicate", &code);
+    EXPECT_EQ(code, 2) << tool << ": " << out;
+    EXPECT_NE(out.find("unknown option '--frobnicate'"), std::string::npos)
+        << tool << ": " << out;
+    EXPECT_NE(out.find("usage:"), std::string::npos) << tool << ": " << out;
+  }
+}
+
+TEST_F(Tools, EveryToolPrintsHelp) {
+  for (const char* tool : {SOFIA_ASM_BIN, SOFIA_RUN_BIN, SOFIA_OBJDUMP_BIN,
+                           SOFIA_REPORT_BIN, SOFIA_SWEEP_BIN}) {
+    int code = 0;
+    const auto out = run_command(std::string(tool) + " --help", &code);
+    EXPECT_EQ(code, 0) << tool << ": " << out;
+    EXPECT_NE(out.find("usage:"), std::string::npos) << tool << ": " << out;
+  }
+}
+
+TEST_F(Tools, SweepShardMergeIsByteIdenticalToUnsharded) {
+  // The multi-machine contract, end to end through the CLI: two shards run
+  // separately, merged, must reproduce the unsharded document byte for
+  // byte.
+  const std::string tag = std::to_string(getpid());
+  const std::string whole = "/tmp/sofia_shard_" + tag + "_whole.json";
+  const std::string s0 = "/tmp/sofia_shard_" + tag + "_0.json";
+  const std::string s1 = "/tmp/sofia_shard_" + tag + "_1.json";
+  const std::string merged = "/tmp/sofia_shard_" + tag + "_merged.json";
+  int code = 0;
+  auto out = run_command(std::string(SOFIA_SWEEP_BIN) +
+                             " --smoke --quiet --json " + whole, &code);
+  EXPECT_EQ(code, 0) << out;
+  out = run_command(std::string(SOFIA_SWEEP_BIN) +
+                        " --smoke --quiet --shard 0/2 --json " + s0, &code);
+  EXPECT_EQ(code, 0) << out;
+  out = run_command(std::string(SOFIA_SWEEP_BIN) +
+                        " --smoke --quiet --shard 1/2 --json " + s1, &code);
+  EXPECT_EQ(code, 0) << out;
+  out = run_command(std::string(SOFIA_SWEEP_BIN) + " --merge " + merged + " " +
+                        s0 + " " + s1, &code);
+  EXPECT_EQ(code, 0) << out;
+
+  const auto slurp = [](const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+  };
+  const auto whole_doc = slurp(whole);
+  EXPECT_FALSE(whole_doc.empty());
+  EXPECT_EQ(whole_doc, slurp(merged));
+  EXPECT_NE(slurp(s0).find("\"shard\": \"0/2\""), std::string::npos);
+
+  // Merging an incomplete shard set must fail loudly.
+  out = run_command(std::string(SOFIA_SWEEP_BIN) + " --merge " + merged + " " +
+                        s0, &code);
+  EXPECT_NE(code, 0);
+  EXPECT_NE(out.find("missing"), std::string::npos) << out;
+
+  for (const auto& p : {whole, s0, s1, merged}) std::remove(p.c_str());
+}
+
+TEST_F(Tools, SweepRejectsBadShard) {
+  int code = 0;
+  const auto out = run_command(
+      std::string(SOFIA_SWEEP_BIN) + " --smoke --quiet --shard 2/2", &code);
+  EXPECT_EQ(code, 1) << out;
+  EXPECT_NE(out.find("out of range"), std::string::npos) << out;
 }
 
 TEST_F(Tools, SweepListsMatricesAndRejectsUnknown) {

@@ -1,105 +1,72 @@
 // sofia-asm: assemble an SR32 source file and produce a loadable image —
 // either a plain sequential binary (--vanilla) or a SOFIA-hardened one
-// (default), i.e. the paper's §III installation flow as a command-line tool.
-//
-//   sofia_asm [options] input.s output.img
-//     --vanilla            skip the SOFIA transform (baseline binary)
-//     --key-seed <n>       derive the device KeySet from a seed
-//                          (default: the documented example key set)
-//     --per-word           Alg. 1 per-word CTR (default: per-pair)
-//     --block-words <n>    block size in words (default 8)
-//     --store-min <n>      first word index where stores may sit (default 4)
-//     --quiet              suppress the transform report
+// (default), i.e. the paper's §III installation flow as a command-line
+// tool. A thin shell over pipeline::Pipeline: the DeviceProfile built from
+// the flags is the only place cipher/keys/policy are decided.
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
-#include <fstream>
-#include <sstream>
 #include <string>
 
 #include "assembler/image_io.hpp"
-#include "assembler/link.hpp"
-#include "assembler/program.hpp"
-#include "crypto/key_set.hpp"
+#include "pipeline/pipeline.hpp"
+#include "support/cli.hpp"
 #include "support/error.hpp"
-#include "support/rng.hpp"
-#include "xform/transform.hpp"
-
-namespace {
-
-[[noreturn]] void usage() {
-  std::fprintf(stderr,
-               "usage: sofia_asm [--vanilla] [--key-seed n] [--per-word]\n"
-               "                 [--block-words n] [--store-min n] [--quiet]\n"
-               "                 input.s output.img\n");
-  std::exit(2);
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   using namespace sofia;
   bool vanilla = false;
   bool per_word = false;
   bool quiet = false;
-  std::uint64_t key_seed = 0;
-  bool have_seed = false;
-  xform::Options options;
+  std::string key_seed;
+  std::string cipher = "rectangle80";
+  std::uint32_t block_words = 0;  // 0 = policy default
+  std::uint32_t store_min = ~0u;  // ~0 = policy default
   std::string input;
   std::string output;
 
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto next_value = [&]() -> const char* {
-      if (i + 1 >= argc) usage();
-      return argv[++i];
-    };
-    if (arg == "--vanilla") vanilla = true;
-    else if (arg == "--per-word") per_word = true;
-    else if (arg == "--quiet") quiet = true;
-    else if (arg == "--key-seed") { key_seed = std::strtoull(next_value(), nullptr, 0); have_seed = true; }
-    else if (arg == "--block-words")
-      options.policy.words_per_block =
-          static_cast<std::uint32_t>(std::strtoul(next_value(), nullptr, 0));
-    else if (arg == "--store-min")
-      options.policy.store_min_word =
-          static_cast<std::uint32_t>(std::strtoul(next_value(), nullptr, 0));
-    else if (!arg.empty() && arg[0] == '-') usage();
-    else if (input.empty()) input = arg;
-    else if (output.empty()) output = arg;
-    else usage();
-  }
-  if (input.empty() || output.empty()) usage();
+  cli::Parser parser("sofia_asm",
+                     "assemble an SR32 source file into a loadable image");
+  parser.flag("--vanilla", vanilla, "skip the SOFIA transform (baseline binary)")
+      .option("--cipher", cipher, "name", "device cipher: rectangle80 | speck64")
+      .option("--key-seed", key_seed, "n",
+              "derive the device KeySet from a seed (default: example keys)")
+      .flag("--per-word", per_word, "Alg. 1 per-word CTR (default: per-pair)")
+      .option("--block-words", block_words, "n", "block size in words (default 8)")
+      .option("--store-min", store_min, "n",
+              "first word index where stores may sit (default 4)")
+      .flag("--quiet", quiet, "suppress the transform report")
+      .positional("input.s", input)
+      .positional("output.img", output);
+  parser.parse_or_exit(argc, argv);
 
   try {
-    std::ifstream in(input);
-    if (!in) throw Error("cannot open '" + input + "'");
-    std::stringstream buffer;
-    buffer << in.rdbuf();
-    const auto program = assembler::assemble(buffer.str());
+    auto profile = pipeline::DeviceProfile::parse(cipher);
+    if (!key_seed.empty()) {
+      std::uint64_t seed = 0;
+      if (!cli::parse_number(key_seed, seed))
+        return parser.fail("--key-seed: invalid number '" + key_seed + "'");
+      profile = pipeline::DeviceProfile::from_seed(profile.cipher, seed);
+    }
+    profile.granularity = per_word ? crypto::Granularity::kPerWord
+                                   : crypto::Granularity::kPerPair;
+    if (block_words != 0) profile.policy.words_per_block = block_words;
+    if (store_min != ~0u) profile.policy.store_min_word = store_min;
+
+    auto session = pipeline::Pipeline::from_source_file(input, profile);
 
     if (vanilla) {
-      const auto image = assembler::link_vanilla(program);
+      const auto& image = session.vanilla_image();
       assembler::save_image(image, output);
       if (!quiet)
         std::printf("vanilla image: %zu instructions, %u B text, entry 0x%x\n",
-                    program.text.size(), image.text_bytes(), image.entry);
+                    session.program().text.size(), image.text_bytes(),
+                    image.entry);
       return 0;
     }
 
-    crypto::KeySet keys;
-    if (have_seed) {
-      Rng rng(key_seed);
-      keys = crypto::KeySet::random(crypto::CipherKind::kRectangle80, rng);
-    } else {
-      keys = crypto::KeySet::example(crypto::CipherKind::kRectangle80);
-    }
-    options.granularity = per_word ? crypto::Granularity::kPerWord
-                                   : crypto::Granularity::kPerPair;
-    const auto result = xform::transform(program, keys, options);
+    const auto& result = session.hardened();
     assembler::save_image(result.image, output);
     if (!quiet) {
-      std::printf("SOFIA image: %s\n", options.policy.describe().c_str());
+      std::printf("SOFIA image: %s\n", profile.policy.describe().c_str());
       std::printf("  %u B -> %u B (%.2fx); %u exec, %u mux, %u forwarding, "
                   "%u thunk blocks; %u padding NOPs; omega 0x%04x\n",
                   result.stats.text_bytes_in, result.stats.text_bytes_out,
@@ -107,7 +74,7 @@ int main(int argc, char** argv) {
                   result.stats.layout.mux_blocks,
                   result.stats.layout.forward_blocks,
                   result.stats.layout.thunk_blocks, result.stats.layout.pad_nops,
-                  keys.omega);
+                  profile.keys().omega);
     }
     return 0;
   } catch (const Error& e) {

@@ -2,14 +2,12 @@
 // SOFIA images show the block structure and raw ciphertext only — without
 // the device keys the text is unintelligible, which is exactly the paper's
 // software-confidentiality ("copyright protection") property.
-//
-//   sofia_objdump [--block-words n] image.img
 #include <cstdio>
-#include <cstdlib>
 #include <string>
 
 #include "assembler/image_io.hpp"
 #include "isa/disasm.hpp"
+#include "support/cli.hpp"
 #include "support/error.hpp"
 #include "support/hex.hpp"
 
@@ -17,22 +15,15 @@ int main(int argc, char** argv) {
   using namespace sofia;
   std::uint32_t block_words = 8;
   std::string path;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--block-words") {
-      if (i + 1 >= argc) { std::fprintf(stderr, "missing value\n"); return 2; }
-      block_words = static_cast<std::uint32_t>(std::strtoul(argv[++i], nullptr, 0));
-    } else if (path.empty()) {
-      path = arg;
-    } else {
-      std::fprintf(stderr, "usage: sofia_objdump [--block-words n] image.img\n");
-      return 2;
-    }
-  }
-  if (path.empty()) {
-    std::fprintf(stderr, "usage: sofia_objdump [--block-words n] image.img\n");
-    return 2;
-  }
+
+  cli::Parser parser("sofia_objdump", "inspect a saved image");
+  parser
+      .option("--block-words", block_words, "n",
+              "block size used for the SOFIA block view (default 8)")
+      .positional("image.img", path);
+  parser.parse_or_exit(argc, argv);
+  if (block_words == 0) return parser.fail("--block-words must be >= 1");
+
   try {
     const auto image = assembler::load_image_file(path);
     std::printf("%s image: text %u B @%s, data %zu B @%s, entry %s\n",

@@ -6,51 +6,25 @@
 //
 //   sofia_report [--quick] [--threads N]
 #include <cstdio>
-#include <cstdlib>
 #include <string>
 
 #include "driver/sweep.hpp"
 #include "security/attacks.hpp"
 #include "security/forgery.hpp"
-
-namespace {
-
-int usage(std::FILE* to, int exit_code) {
-  std::fprintf(to,
-               "usage: sofia_report [options]\n"
-               "  --quick       smaller workloads and fault campaign\n"
-               "  --threads N   worker threads for the measurements (default 1)\n");
-  return exit_code;
-}
-
-}  // namespace
+#include "support/cli.hpp"
 
 int main(int argc, char** argv) {
   using namespace sofia;
   bool quick = false;
-  unsigned threads = 1;
-  for (int i = 1; i < argc; ++i) {
-    const std::string_view arg = argv[i];
-    if (arg == "--quick") {
-      quick = true;
-    } else if (arg == "--threads") {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "sofia_report: --threads needs a value\n");
-        return usage(stderr, 2);
-      }
-      const long n = std::strtol(argv[++i], nullptr, 10);
-      if (n < 1) {
-        std::fprintf(stderr, "sofia_report: --threads must be >= 1\n");
-        return usage(stderr, 2);
-      }
-      threads = static_cast<unsigned>(n);
-    } else if (arg == "--help" || arg == "-h") {
-      return usage(stdout, 0);
-    } else {
-      std::fprintf(stderr, "sofia_report: unknown option '%s'\n", argv[i]);
-      return usage(stderr, 2);
-    }
-  }
+  std::uint32_t threads = 1;
+
+  cli::Parser parser("sofia_report",
+                     "one-command paper-vs-measured health report");
+  parser.flag("--quick", quick, "smaller workloads and fault campaign")
+      .option("--threads", threads, "N",
+              "worker threads for the measurements (default 1)");
+  parser.parse_or_exit(argc, argv);
+  if (threads < 1) return parser.fail("--threads must be >= 1");
   const std::uint32_t samples = quick ? 1024 : 8192;
   const auto keys = bench::bench_keys();
   const hw::HwModel model;

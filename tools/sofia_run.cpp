@@ -1,64 +1,53 @@
 // sofia-run: execute a saved image on the simulated device (vanilla core
-// for plain images, SOFIA core for hardened ones).
-//
-//   sofia_run [options] image.img
-//     --key-seed <n>     device KeySet seed (must match sofia_asm's)
-//     --max-cycles <n>   cycle budget (default 2e9)
-//     --stats            print the detailed statistics block
+// for plain images, SOFIA core for hardened ones). The device is described
+// by the same DeviceProfile flags sofia_asm takes; a cipher or key mismatch
+// is an architectural reset on the first fetched block, exactly as on the
+// real device — never a crash.
 #include <cstdio>
-#include <cstdlib>
 #include <string>
 
-#include "assembler/image_io.hpp"
-#include "crypto/key_set.hpp"
-#include "sim/machine.hpp"
+#include "pipeline/pipeline.hpp"
+#include "support/cli.hpp"
 #include "support/error.hpp"
-#include "support/rng.hpp"
-
-namespace {
-
-[[noreturn]] void usage() {
-  std::fprintf(stderr,
-               "usage: sofia_run [--key-seed n] [--max-cycles n] [--stats] "
-               "image.img\n");
-  std::exit(2);
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   using namespace sofia;
-  std::uint64_t key_seed = 0;
-  bool have_seed = false;
+  std::string key_seed;
+  std::string cipher = "rectangle80";
   bool stats = false;
   std::uint64_t max_cycles = 0;
   std::string path;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto next_value = [&]() -> const char* {
-      if (i + 1 >= argc) usage();
-      return argv[++i];
-    };
-    if (arg == "--key-seed") { key_seed = std::strtoull(next_value(), nullptr, 0); have_seed = true; }
-    else if (arg == "--max-cycles") max_cycles = std::strtoull(next_value(), nullptr, 0);
-    else if (arg == "--stats") stats = true;
-    else if (!arg.empty() && arg[0] == '-') usage();
-    else if (path.empty()) path = arg;
-    else usage();
-  }
-  if (path.empty()) usage();
+
+  cli::Parser parser("sofia_run",
+                     "execute a saved image on the simulated device");
+  parser
+      .option("--cipher", cipher, "name",
+              "device cipher: rectangle80 | speck64 (must match sofia_asm's)")
+      .option("--key-seed", key_seed, "n",
+              "device KeySet seed (must match sofia_asm's)")
+      .option("--max-cycles", max_cycles, "n", "cycle budget (default 2e9)")
+      .flag("--stats", stats, "print the detailed statistics block")
+      .positional("image.img", path);
+  parser.parse_or_exit(argc, argv);
 
   try {
-    const auto image = assembler::load_image_file(path);
-    sim::SimConfig config;
-    if (have_seed) {
-      Rng rng(key_seed);
-      config.keys = crypto::KeySet::random(crypto::CipherKind::kRectangle80, rng);
-    } else {
-      config.keys = crypto::KeySet::example(crypto::CipherKind::kRectangle80);
+    auto profile = pipeline::DeviceProfile::parse(cipher);
+    if (!key_seed.empty()) {
+      std::uint64_t seed = 0;
+      if (!cli::parse_number(key_seed, seed))
+        return parser.fail("--key-seed: invalid number '" + key_seed + "'");
+      profile = pipeline::DeviceProfile::from_seed(profile.cipher, seed);
     }
-    if (max_cycles != 0) config.max_cycles = max_cycles;
-    const auto run = sim::run_image(image, config);
+
+    auto session = pipeline::Pipeline::from_image_file(path, profile);
+    if (max_cycles != 0) {
+      sim::SimConfig config = session.sim_config();
+      config.max_cycles = max_cycles;
+      session.set_sim_config(config);
+    }
+    const auto& run = session.run();
+    const auto& image = session.image();
+
     if (!run.output.empty()) std::fputs(run.output.c_str(), stdout);
     std::printf("[%s core] status=%s", image.sofia ? "SOFIA" : "vanilla",
                 to_string(run.status).data());

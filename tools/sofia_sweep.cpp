@@ -3,28 +3,35 @@
 // The built-in matrices cover the paper's headline tables plus the repo's
 // ablations; adding a scenario is one entry in src/driver/sweep.cpp.
 //
-//   sofia_sweep [--matrix NAME] [--threads N] [--json PATH] [--smoke] [--list]
+// Multi-machine use: `--shard K/N` runs only job indices ≡ K (mod N), and
+// `--merge out.json in1.json in2.json...` concatenates the per-job records
+// back into the canonical document — byte-identical to an unsharded run.
 #include <algorithm>
 #include <cstdio>
-#include <cstdlib>
 #include <fstream>
+#include <iterator>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "driver/sweep.hpp"
+#include "support/cli.hpp"
+#include "support/error.hpp"
 
 namespace {
 
-int usage(std::FILE* to, int exit_code) {
-  std::fprintf(to,
-               "usage: sofia_sweep [options]\n"
-               "  --matrix NAME   matrix to run (default: suite-overhead; see --list)\n"
-               "  --threads N     worker threads (default: hardware concurrency)\n"
-               "  --json PATH     write the results document to PATH\n"
-               "  --smoke         shrink the matrix to a seconds-long smoke run\n"
-               "  --list          list the built-in matrices and exit\n"
-               "  --quiet         suppress the per-job progress table\n");
-  return exit_code;
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw sofia::Error("cannot read '" + path + "'");
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+bool spill(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out << content;
+  return true;
 }
 
 }  // namespace
@@ -33,52 +40,74 @@ int main(int argc, char** argv) {
   using namespace sofia;
   std::string matrix_name = "suite-overhead";
   std::string json_path;
-  unsigned threads = std::max(1u, std::thread::hardware_concurrency());
+  std::string shard_text;
+  std::string merge_out;
+  std::vector<std::string> merge_inputs;
+  std::uint32_t threads = std::max(1u, std::thread::hardware_concurrency());
   bool smoke = false;
   bool quiet = false;
+  bool list = false;
 
-  for (int i = 1; i < argc; ++i) {
-    const std::string_view arg = argv[i];
-    const auto take_value = [&](const char* flag) -> const char* {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "sofia_sweep: %s needs a value\n", flag);
-        std::exit(usage(stderr, 2));
-      }
-      return argv[++i];
-    };
-    if (arg == "--matrix") {
-      matrix_name = take_value("--matrix");
-    } else if (arg == "--threads") {
-      const long n = std::strtol(take_value("--threads"), nullptr, 10);
-      if (n < 1) {
-        std::fprintf(stderr, "sofia_sweep: --threads must be >= 1\n");
-        return usage(stderr, 2);
-      }
-      threads = static_cast<unsigned>(n);
-    } else if (arg == "--json") {
-      json_path = take_value("--json");
-    } else if (arg == "--smoke") {
-      smoke = true;
-    } else if (arg == "--quiet") {
-      quiet = true;
-    } else if (arg == "--list") {
-      for (const auto& name : driver::matrix_names())
-        std::printf("%s\n", name.c_str());
-      return 0;
-    } else if (arg == "--help" || arg == "-h") {
-      return usage(stdout, 0);
-    } else {
-      std::fprintf(stderr, "sofia_sweep: unknown option '%s'\n", argv[i]);
-      return usage(stderr, 2);
-    }
+  cli::Parser parser("sofia_sweep",
+                     "parallel experiment matrix -> JSON results");
+  parser
+      .option("--matrix", matrix_name, "NAME",
+              "matrix to run (default: suite-overhead; see --list)")
+      .option("--threads", threads, "N",
+              "worker threads (default: hardware concurrency)")
+      .option("--json", json_path, "PATH", "write the results document to PATH")
+      .option("--shard", shard_text, "K/N",
+              "run only job indices congruent to K mod N")
+      .option("--merge", merge_out, "OUT.json",
+              "merge shard documents (trailing args) into OUT.json and exit")
+      .flag("--smoke", smoke, "shrink the matrix to a seconds-long smoke run")
+      .flag("--list", list, "list the built-in matrices and exit")
+      .flag("--quiet", quiet, "suppress the per-job progress table")
+      .positional_list("in.json", merge_inputs);
+  parser.parse_or_exit(argc, argv);
+
+  if (list) {
+    for (const auto& name : driver::matrix_names())
+      std::printf("%s\n", name.c_str());
+    return 0;
   }
+  if (threads < 1) return parser.fail("--threads must be >= 1");
+  if (merge_out.empty() && !merge_inputs.empty())
+    return parser.fail("unexpected argument '" + merge_inputs.front() +
+                       "' (input documents are only valid with --merge)");
 
   try {
+    if (!merge_out.empty()) {
+      if (merge_inputs.empty())
+        return parser.fail("--merge needs at least one input document");
+      std::vector<std::string> documents;
+      documents.reserve(merge_inputs.size());
+      for (const auto& path : merge_inputs) documents.push_back(slurp(path));
+      const std::string merged = driver::merge_json(documents);
+      if (!spill(merge_out, merged)) {
+        std::fprintf(stderr, "sofia_sweep: cannot write '%s'\n",
+                     merge_out.c_str());
+        return 1;
+      }
+      std::printf("merged %zu document(s) into %s\n", documents.size(),
+                  merge_out.c_str());
+      return 0;
+    }
+
+    driver::ShardSpec shard;
+    if (!shard_text.empty()) shard = driver::ShardSpec::parse(shard_text);
+
     driver::SweepSpec spec = driver::matrix(matrix_name);
     if (smoke) spec = driver::smoke(std::move(spec));
     const auto jobs = driver::expand_jobs(spec);
-    std::printf("sweep %-20s %zu jobs on %u thread(s)\n", spec.name.c_str(),
-                jobs.size(), threads);
+    if (shard.is_whole()) {
+      std::printf("sweep %-20s %zu jobs on %u thread(s)\n", spec.name.c_str(),
+                  jobs.size(), threads);
+    } else {
+      std::printf("sweep %-20s shard %u/%u of %zu jobs on %u thread(s)\n",
+                  spec.name.c_str(), shard.index, shard.count, jobs.size(),
+                  threads);
+    }
 
     driver::ProgressFn progress;
     if (!quiet) {
@@ -97,18 +126,16 @@ int main(int argc, char** argv) {
                     r.m.cycle_overhead_pct());
       };
     }
-    const auto result = driver::run_sweep(spec, threads, progress);
+    const auto result = driver::run_sweep(spec, threads, progress, shard);
     std::printf("done in %.2f s (%u thread(s)); %s\n", result.wall_seconds,
                 result.threads_used, result.all_ok() ? "all jobs ok" : "FAILURES");
 
     if (!json_path.empty()) {
-      std::ofstream out(json_path, std::ios::binary);
-      if (!out) {
+      if (!spill(json_path, driver::to_json(result))) {
         std::fprintf(stderr, "sofia_sweep: cannot write '%s'\n",
                      json_path.c_str());
         return 1;
       }
-      out << driver::to_json(result);
       std::printf("wrote %s\n", json_path.c_str());
     }
     return result.all_ok() ? 0 : 1;
