@@ -36,6 +36,7 @@ std::string ConfigPoint::fingerprint() const {
   fp += " icache=" + std::to_string(c.icache.size_bytes) + "x" +
         std::to_string(c.icache.line_bytes);
   fp += " unroll=" + std::to_string(unroll_cycles);
+  fp += " backend=" + p.backend;
   return fp;
 }
 
@@ -177,7 +178,7 @@ std::string to_json(const SweepResult& result) {
   const hw::HwModel model;
   json::Writer w(2);
   w.begin_object();
-  w.member("schema", "sofia-sweep-v2");
+  w.member("schema", "sofia-sweep-v3");
   w.member("sweep", result.sweep_name);
   w.member("job_count", static_cast<std::uint64_t>(
                             result.total_jobs ? result.total_jobs
@@ -191,6 +192,7 @@ std::string to_json(const SweepResult& result) {
     w.member("index", static_cast<std::uint64_t>(r.job.index));
     w.member("workload", r.job.workload);
     w.member("config", r.job.config.name);
+    w.member("backend", r.job.config.opts.profile.backend);
     w.member("fingerprint", r.job.config.fingerprint());
     w.member("seed", r.job.seed);
     w.member("size", r.job.size);
@@ -240,8 +242,8 @@ std::string merge_json(const std::vector<std::string>& documents) {
     const auto& doc = parsed.back();
     const auto label = "document " + std::to_string(d);
     const auto* schema = doc.find("schema");
-    if (schema == nullptr || schema->as_string("schema") != "sofia-sweep-v2")
-      throw Error("merge: " + label + " is not a sofia-sweep-v2 document");
+    if (schema == nullptr || schema->as_string("schema") != "sofia-sweep-v3")
+      throw Error("merge: " + label + " is not a sofia-sweep-v3 document");
     const auto* sweep = doc.find("sweep");
     const auto* count = doc.find("job_count");
     const auto* jobs = doc.find("jobs");
@@ -283,7 +285,7 @@ std::string merge_json(const std::vector<std::string>& documents) {
   // byte.
   json::Writer w(2);
   w.begin_object();
-  w.member("schema", "sofia-sweep-v2");
+  w.member("schema", "sofia-sweep-v3");
   w.member("sweep", sweep_name);
   w.member("job_count", total);
   w.key("jobs").begin_array();
@@ -427,6 +429,12 @@ SweepSpec smoke(SweepSpec spec) {
   spec.workloads = {"fib", "crc32", "bitcount"};
   spec.size_override = 0;
   spec.size_divisor = 16;
+  return spec;
+}
+
+SweepSpec with_backend(SweepSpec spec, std::string_view backend) {
+  const std::string validated = pipeline::DeviceProfile::parse_backend(backend);
+  for (auto& config : spec.configs) config.opts.profile.backend = validated;
   return spec;
 }
 

@@ -36,7 +36,7 @@ struct ConfigPoint {
 
   /// Stable machine-readable fingerprint of every swept axis
   /// ("gran=per-pair alt=1 pipe=1 policy=8/4 cipher=RECTANGLE-80
-  /// icache=4096x32 unroll=2").
+  /// icache=4096x32 unroll=2 backend=cycle").
   std::string fingerprint() const;
 };
 
@@ -143,5 +143,11 @@ SweepSpec matrix(std::string_view name);
 /// Shrink a spec to a seconds-long smoke run (three small workloads,
 /// reduced sizes) while keeping its config axes.
 SweepSpec smoke(SweepSpec spec);
+
+/// Point every config cell at an execution backend (sim::backend_registry()
+/// key; the sofia_sweep/sofia_report --backend flag). Validates via
+/// DeviceProfile::parse_backend (throws for unknown names); the backend
+/// lands in each job's fingerprint and the per-job "backend" JSON member.
+SweepSpec with_backend(SweepSpec spec, std::string_view backend);
 
 }  // namespace sofia::driver

@@ -54,6 +54,12 @@ crypto::CipherKind DeviceProfile::parse_cipher(std::string_view name) {
               "' (expected rectangle80 or speck64)");
 }
 
+std::string DeviceProfile::parse_backend(std::string_view name) {
+  if (!sim::is_backend(name))
+    sim::make_backend(name);  // throws the canonical "unknown backend" error
+  return std::string(name);
+}
+
 DeviceProfile DeviceProfile::parse(std::string_view cipher_name) {
   return example(parse_cipher(cipher_name));
 }
@@ -109,6 +115,7 @@ std::string DeviceProfile::fingerprint() const {
   fp += crypto::to_string(granularity);
   fp += " policy=" + std::to_string(policy.words_per_block) + "/" +
         std::to_string(policy.store_min_word);
+  fp += " backend=" + backend;
   return fp;
 }
 
@@ -126,6 +133,7 @@ void DeviceProfile::to_json(json::Writer& w) const {
   if (omega_override >= 0)
     w.member("omega", static_cast<std::int64_t>(omega_override));
   w.member("granularity", crypto::to_string(granularity));
+  w.member("backend", backend);
   w.key("policy").begin_object();
   w.member("words_per_block", policy.words_per_block);
   w.member("store_min_word", policy.store_min_word);

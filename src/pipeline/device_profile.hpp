@@ -18,6 +18,7 @@
 #include "assembler/image.hpp"
 #include "crypto/ctr.hpp"
 #include "crypto/key_set.hpp"
+#include "sim/backend.hpp"
 #include "sim/config.hpp"
 #include "xform/block_policy.hpp"
 #include "xform/transform.hpp"
@@ -47,6 +48,11 @@ struct DeviceProfile {
   /// The paper's hardware datapath moves 64-bit blocks, i.e. per-pair CTR.
   crypto::Granularity granularity = crypto::Granularity::kPerPair;
   xform::BlockPolicy policy = xform::BlockPolicy::paper_default();
+  /// Execution backend the device runs on — a sim::backend_registry() key
+  /// ("cycle" = paper-faithful timing, "functional" = fast architectural
+  /// interpreter with identical integrity semantics). Pipeline routes
+  /// every run through this name; validate with parse_backend().
+  std::string backend = std::string(sim::kDefaultBackend);
 
   // ---- factories ----------------------------------------------------------
 
@@ -72,6 +78,12 @@ struct DeviceProfile {
   /// The cipher-name parse alone (shared by parse() and the CLI layer).
   static crypto::CipherKind parse_cipher(std::string_view name);
 
+  /// Validate a backend name against sim::backend_registry() and return
+  /// it (exact match — the same grammar the CLI --backend choice flags
+  /// accept). Throws sofia::Error listing the registered backends for
+  /// anything unknown.
+  static std::string parse_backend(std::string_view name);
+
   // ---- derived material ---------------------------------------------------
 
   /// Materialize the KeySet (with any omega override applied).
@@ -86,7 +98,8 @@ struct DeviceProfile {
   sim::SimConfig& configure(sim::SimConfig& config) const;
 
   /// Stable machine-readable identity of every axis, e.g.
-  /// "cipher=RECTANGLE-80 keys=example gran=per-pair policy=8/4".
+  /// "cipher=RECTANGLE-80 keys=example gran=per-pair policy=8/4
+  /// backend=cycle".
   std::string fingerprint() const;
 
   /// Emit the profile as a JSON object through the deterministic writer.

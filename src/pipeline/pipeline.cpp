@@ -158,10 +158,22 @@ sim::SimConfig Pipeline::effective_sim_config() const {
   return config;
 }
 
+const sim::Backend& Pipeline::backend() const {
+  if (!backend_) {
+    try {
+      backend_ = sim::make_backend(profile_.backend);
+    } catch (const std::exception& e) {
+      fail("backend", e.what());
+    }
+  }
+  return *backend_;
+}
+
 const sim::RunResult& Pipeline::run() {
   if (!run_) {
     const auto& img = image();
-    run_stage("run", [&] { run_ = sim::run_image(img, effective_sim_config()); });
+    const auto& be = backend();
+    run_stage("run", [&] { run_ = be.run(img, effective_sim_config()); });
   }
   return *run_;
 }
@@ -169,20 +181,21 @@ const sim::RunResult& Pipeline::run() {
 const sim::RunResult& Pipeline::run_vanilla() {
   if (!vanilla_run_) {
     const auto& img = vanilla_image();
+    const auto& be = backend();
     run_stage("run-vanilla",
-              [&] { vanilla_run_ = sim::run_image(img, effective_sim_config()); });
+              [&] { vanilla_run_ = be.run(img, effective_sim_config()); });
   }
   return *vanilla_run_;
 }
 
 sim::RunResult Pipeline::run_image(const assembler::LoadImage& img) const {
-  return sim::run_image(img, effective_sim_config());
+  return backend().run(img, effective_sim_config());
 }
 
 sim::RunResult Pipeline::run_image(const assembler::LoadImage& img,
                                    sim::SimConfig config) const {
   profile_.configure(config);
-  return sim::run_image(img, config);
+  return backend().run(img, config);
 }
 
 Measurement Pipeline::measure() {

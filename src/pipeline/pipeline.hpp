@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -25,7 +26,7 @@
 #include "assembler/program.hpp"
 #include "hw/hw_model.hpp"
 #include "pipeline/device_profile.hpp"
-#include "sim/machine.hpp"
+#include "sim/backend.hpp"
 #include "support/error.hpp"
 #include "workloads/workloads.hpp"
 #include "xform/transform.hpp"
@@ -159,6 +160,12 @@ class Pipeline {
   /// The effective device configuration (base config + profile stamp).
   sim::SimConfig effective_sim_config() const;
 
+  /// The execution backend this session runs on, resolved once from
+  /// profile().backend through sim::backend_registry(). Every run()/
+  /// run_vanilla()/run_image() call executes through this object — no
+  /// consumer constructs a simulator directly.
+  const sim::Backend& backend() const;
+
  private:
   Pipeline(std::string name, DeviceProfile profile);
 
@@ -168,6 +175,7 @@ class Pipeline {
 
   std::string name_;
   DeviceProfile profile_;
+  mutable std::unique_ptr<sim::Backend> backend_;  ///< lazy, see backend()
   sim::SimConfig base_config_;
   assembler::MemoryLayout mem_;
   bool elide_unreachable_ = false;

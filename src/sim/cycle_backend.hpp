@@ -1,0 +1,28 @@
+// The cycle-accurate backend: the paper's §III/§IV device model (7-stage
+// in-order core, I-cache, fetch queue, shared 2-cycle cipher engine,
+// store gate), packaged behind the sim::Backend interface. The machine
+// itself lives in machine.cpp; this class only adapts sim::run_image()
+// to the registry.
+#pragma once
+
+#include "sim/backend.hpp"
+
+namespace sofia::sim {
+
+inline constexpr std::string_view kCycleBackendDescription =
+    "cycle-accurate core + SOFIA front end (paper-faithful timing)";
+
+class CycleAccurateBackend final : public Backend {
+ public:
+  std::string_view name() const override { return "cycle"; }
+  std::string_view describe() const override {
+    return kCycleBackendDescription;
+  }
+  BackendCapabilities capabilities() const override {
+    return {/*cycle_accurate=*/true, /*models_microarchitecture=*/true};
+  }
+  RunResult run(const assembler::LoadImage& image,
+                const SimConfig& config) const override;
+};
+
+}  // namespace sofia::sim

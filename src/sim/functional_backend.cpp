@@ -1,0 +1,479 @@
+#include "sim/functional_backend.hpp"
+
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "crypto/block_cipher.hpp"
+#include "crypto/cbc_mac.hpp"
+#include "crypto/ctr.hpp"
+#include "isa/isa.hpp"
+#include "sim/memory.hpp"
+#include "support/bits.hpp"
+
+namespace sofia::sim {
+
+namespace {
+
+using isa::Instruction;
+using isa::Opcode;
+
+// One architectural interpreter run. The SOFIA front end is modelled at
+// block granularity: enter_block() performs the full fetch → decrypt →
+// MAC-verify → placement-check sequence of SofiaFetch::process_block in
+// the same order (entry offset, then MAC, then per-word decode/exit/store
+// rules), minus every timing decision.
+class FunctionalMachine {
+ public:
+  FunctionalMachine(const assembler::LoadImage& image, const SimConfig& config)
+      : image_(image), config_(config) {
+    mem_.load_image(image);
+    regs_[isa::kRegSp] = image.stack_top;
+    if (image.sofia) {
+      enc_ = config.keys.encryption_cipher();
+      exec_mac_ = config.keys.exec_mac_cipher();
+      mux_mac_ = config.keys.mux_mac_cipher();
+    }
+  }
+
+  RunResult run() {
+    if (image_.sofia)
+      run_sofia();
+    else
+      run_vanilla();
+    // No timing model: "cycles" is the retired instruction count, and the
+    // reset/trace timestamps below use the same clock.
+    result_.stats.cycles = result_.stats.insts;
+    return std::move(result_);
+  }
+
+ private:
+  /// A verified, decoded block, keyed by (entry word, prevPC word).
+  struct Block {
+    ResetCause cause = ResetCause::kNone;  ///< != kNone: entering resets
+    std::uint32_t reset_pc = 0;
+    std::uint32_t base_word = 0;
+    std::uint32_t first_inst = 0;  ///< word index of the first instruction
+    std::vector<Instruction> insts;
+  };
+
+  // ---- outcome plumbing ---------------------------------------------------
+
+  void finish(RunResult::Status status) {
+    result_.status = status;
+    done_ = true;
+  }
+
+  void fault(const std::string& message) {
+    result_.fault = message;
+    finish(RunResult::Status::kFault);
+  }
+
+  void reset(ResetCause cause, std::uint32_t pc) {
+    result_.reset = ResetEvent{cause, result_.stats.insts, pc};
+    finish(RunResult::Status::kReset);
+  }
+
+  /// Instruction budget (SimConfig::max_cycles repurposed as an
+  /// instruction count — the only clock this backend has).
+  bool budget_ok() {
+    if (result_.stats.insts < config_.max_cycles) return true;
+    finish(RunResult::Status::kMaxCycles);
+    return false;
+  }
+
+  // ---- fetch path ---------------------------------------------------------
+
+  std::uint32_t text_base_word() const { return image_.text_base / 4; }
+
+  /// Same transient-fault model as FetchUnit::apply_fault: flip one bit of
+  /// the N-th raw word this backend fetches.
+  std::uint32_t apply_fault(std::uint32_t word) {
+    const std::uint64_t index = fetch_count_++;
+    if (config_.fault.enabled && index == config_.fault.fetch_index)
+      return word ^ (1u << (config_.fault.bit & 31));
+    return word;
+  }
+
+  const Block& enter_block(std::uint32_t target_word, std::uint32_t prev_word) {
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(target_word) << 32) | prev_word;
+    // With a fault armed every entry must refetch, or the fetch counter
+    // would never reach the configured injection index.
+    if (!config_.fault.enabled) {
+      if (const auto it = cache_.find(key); it != cache_.end())
+        return it->second;
+    }
+    Block blk = decode_block(target_word, prev_word);
+    if (config_.fault.enabled) {
+      scratch_ = std::move(blk);
+      return scratch_;
+    }
+    return cache_.emplace(key, std::move(blk)).first->second;
+  }
+
+  Block decode_block(std::uint32_t target_word, std::uint32_t prev_word) {
+    Block blk;
+    auto& st = result_.stats;
+    const std::uint32_t b = config_.policy.words_per_block;
+    const std::uint32_t offset = (target_word - text_base_word()) % b;
+    blk.base_word = target_word - offset;
+    ++st.blocks_fetched;
+
+    if (offset > 2) {
+      blk.cause = ResetCause::kInvalidEntry;
+      blk.reset_pc = target_word * 4;
+      return blk;
+    }
+    const bool is_mux = offset != 0;
+    // Word indices fetched, in order (multiplexor path 1 starts at word 0
+    // and skips word 1; path 2 starts at word 1) — identical to SofiaFetch.
+    std::vector<std::uint32_t> sched;
+    if (!is_mux) {
+      for (std::uint32_t j = 0; j < b; ++j) sched.push_back(j);
+    } else if (offset == 1) {
+      sched.push_back(0);
+      for (std::uint32_t j = 2; j < b; ++j) sched.push_back(j);
+    } else {
+      for (std::uint32_t j = 1; j < b; ++j) sched.push_back(j);
+    }
+
+    std::vector<std::uint32_t> raw(b, 0);
+    for (const std::uint32_t j : sched)
+      raw[j] = apply_fault(mem_.load32((blk.base_word + j) * 4));
+    st.fetch_words += sched.size();
+
+    // ---- CTR decryption with control-flow-dependent counters ----
+    const std::uint32_t entry_word_index = sched.front();
+    const std::uint32_t base_word = blk.base_word;
+    auto prev_for = [&](std::uint32_t j) {
+      return j == entry_word_index ? prev_word : base_word + j - 1;
+    };
+    std::vector<std::uint32_t> plain(b, 0);
+    if (!image_.per_pair) {
+      for (const std::uint32_t j : sched) {
+        ++st.ctr_ops;
+        plain[j] = raw[j] ^ crypto::keystream32(*enc_, image_.omega,
+                                                prev_for(j), base_word + j);
+      }
+    } else {
+      const std::uint32_t body_start = is_mux ? 2 : 0;
+      if (is_mux) {
+        const std::uint32_t e = entry_word_index;
+        ++st.ctr_ops;
+        plain[e] = raw[e] ^ crypto::keystream32(*enc_, image_.omega, prev_word,
+                                                base_word + e);
+      }
+      for (std::uint32_t j = body_start; j < b; j += 2) {
+        ++st.ctr_ops;
+        const std::uint64_t ks = crypto::keystream64(
+            *enc_, image_.omega, j == 0 ? prev_word : base_word + j - 1,
+            base_word + j);
+        plain[j] = raw[j] ^ static_cast<std::uint32_t>(ks);
+        plain[j + 1] = raw[j + 1] ^ static_cast<std::uint32_t>(ks >> 32);
+      }
+    }
+
+    // ---- run-time CBC-MAC vs the stored tag ----
+    blk.first_inst = is_mux ? 3 : 2;
+    const std::uint32_t m1 = plain[entry_word_index];
+    const std::uint32_t m2 = plain[is_mux ? 2 : 1];
+    st.mac_words += 2;
+    const std::uint64_t stored_tag = (static_cast<std::uint64_t>(m2) << 32) | m1;
+    const std::span<const std::uint32_t> inst_words(plain.data() + blk.first_inst,
+                                                    b - blk.first_inst);
+    st.cbc_ops += (b - blk.first_inst + 1) / 2;
+    ++st.mac_verifications;
+    const auto& mac_cipher = is_mux ? *mux_mac_ : *exec_mac_;
+    if (crypto::cbc_mac64(mac_cipher, inst_words) != stored_tag) {
+      blk.cause = ResetCause::kMacMismatch;
+      blk.reset_pc = base_word * 4;
+      return blk;
+    }
+
+    // ---- decode + placement rules, in SofiaFetch's check order ----
+    for (std::uint32_t w = blk.first_inst; w < b; ++w) {
+      const auto decoded = isa::decode(plain[w]);
+      const std::uint32_t pc = (base_word + w) * 4;
+      if (!decoded) {
+        blk.cause = ResetCause::kIllegalInstruction;
+        blk.reset_pc = pc;
+        return blk;
+      }
+      const bool last = (w == b - 1);
+      if (isa::is_control(decoded->op) && !last) {
+        blk.cause = ResetCause::kIllegalExit;
+        blk.reset_pc = pc;
+        return blk;
+      }
+      if (isa::is_store(decoded->op) && w < config_.policy.store_min_word) {
+        blk.cause = ResetCause::kRestrictedStore;
+        blk.reset_pc = pc;
+        return blk;
+      }
+      blk.insts.push_back(*decoded);
+    }
+    return blk;
+  }
+
+  // ---- execution ----------------------------------------------------------
+
+  void run_sofia() {
+    std::uint32_t target_word = image_.entry / 4;
+    std::uint32_t prev_word = image_.entry_prev;
+    const std::uint32_t b = config_.policy.words_per_block;
+    while (!done_) {
+      const Block& blk = enter_block(target_word, prev_word);
+      if (blk.cause != ResetCause::kNone) {
+        reset(blk.cause, blk.reset_pc);
+        return;
+      }
+      if (blk.insts.empty()) {
+        fault("block policy leaves no instruction slots");
+        return;
+      }
+      std::uint32_t next = 0;
+      for (std::size_t i = 0; i < blk.insts.size() && !done_; ++i) {
+        if (!budget_ok()) return;
+        const std::uint32_t pc =
+            (blk.base_word + blk.first_inst + static_cast<std::uint32_t>(i)) * 4;
+        next = pc + 4;
+        exec(blk.insts[i], pc, next);
+      }
+      if (done_) return;
+      // The exit word decided where fetch continues; its own address is
+      // the next block's prevPC (identical for taken transfers, direct
+      // jumps and sequential fall-through).
+      prev_word = base_exit_word(blk.base_word, b);
+      target_word = next / 4;
+    }
+  }
+
+  static std::uint32_t base_exit_word(std::uint32_t base_word, std::uint32_t b) {
+    return base_word + b - 1;
+  }
+
+  void run_vanilla() {
+    std::uint32_t pc = image_.entry;
+    while (!done_) {
+      if (!budget_ok()) return;
+      const auto decoded = isa::decode(apply_fault(mem_.load32(pc)));
+      if (!decoded) {
+        reset(ResetCause::kIllegalInstruction, pc);
+        return;
+      }
+      ++result_.stats.fetch_words;
+      std::uint32_t next = pc + 4;
+      exec(*decoded, pc, next);
+      pc = next;
+    }
+  }
+
+  std::uint32_t reg(unsigned r) const { return regs_[r]; }
+
+  void write_reg(unsigned r, std::uint32_t value) {
+    if (r != isa::kRegZero) regs_[r] = value;
+  }
+
+  /// Execute one instruction architecturally; `next` holds the successor
+  /// byte PC (already pc + 4) and is overwritten by taken transfers.
+  void exec(const Instruction& in, std::uint32_t pc, std::uint32_t& next) {
+    auto& st = result_.stats;
+    ++st.insts;
+    if (config_.collect_trace && result_.trace.size() < config_.max_trace)
+      result_.trace.push_back({st.insts, pc, isa::encode(in)});
+
+    const std::uint32_t a = regs_[in.ra];
+    const std::uint32_t bval = regs_[in.rb];
+    const auto sa = static_cast<std::int32_t>(a);
+    const auto sb = static_cast<std::int32_t>(bval);
+    const auto imm = in.imm;
+    const std::uint32_t uimm = static_cast<std::uint32_t>(imm);
+
+    switch (in.op) {
+      case Opcode::kNop:
+        ++st.nops;
+        break;
+      case Opcode::kHalt:
+        finish(RunResult::Status::kHalted);
+        break;
+      case Opcode::kAdd: write_reg(in.rd, a + bval); break;
+      case Opcode::kSub: write_reg(in.rd, a - bval); break;
+      case Opcode::kAnd: write_reg(in.rd, a & bval); break;
+      case Opcode::kOr: write_reg(in.rd, a | bval); break;
+      case Opcode::kXor: write_reg(in.rd, a ^ bval); break;
+      case Opcode::kSll: write_reg(in.rd, a << (bval & 31)); break;
+      case Opcode::kSrl: write_reg(in.rd, a >> (bval & 31)); break;
+      case Opcode::kSra:
+        write_reg(in.rd, static_cast<std::uint32_t>(sa >> (bval & 31)));
+        break;
+      case Opcode::kSlt: write_reg(in.rd, sa < sb ? 1 : 0); break;
+      case Opcode::kSltu: write_reg(in.rd, a < bval ? 1 : 0); break;
+      case Opcode::kMul: write_reg(in.rd, a * bval); break;
+      case Opcode::kAddi: write_reg(in.rd, a + uimm); break;
+      case Opcode::kAndi: write_reg(in.rd, a & uimm); break;
+      case Opcode::kOri: write_reg(in.rd, a | uimm); break;
+      case Opcode::kXori: write_reg(in.rd, a ^ uimm); break;
+      case Opcode::kSlli: write_reg(in.rd, a << (uimm & 31)); break;
+      case Opcode::kSrli: write_reg(in.rd, a >> (uimm & 31)); break;
+      case Opcode::kSrai:
+        write_reg(in.rd, static_cast<std::uint32_t>(sa >> (uimm & 31)));
+        break;
+      case Opcode::kSlti: write_reg(in.rd, sa < imm ? 1 : 0); break;
+      case Opcode::kSltiu: write_reg(in.rd, a < uimm ? 1 : 0); break;
+      case Opcode::kLui: write_reg(in.rd, uimm << 14); break;
+      case Opcode::kLw:
+      case Opcode::kLh:
+      case Opcode::kLhu:
+      case Opcode::kLb:
+      case Opcode::kLbu:
+        if (do_load(in, a + uimm)) ++st.loads;
+        break;
+      case Opcode::kSw:
+      case Opcode::kSh:
+      case Opcode::kSb:
+        if (do_store(in, a + uimm, regs_[in.rd])) ++st.stores;
+        break;
+      case Opcode::kBeq:
+      case Opcode::kBne:
+      case Opcode::kBlt:
+      case Opcode::kBge:
+      case Opcode::kBltu:
+      case Opcode::kBgeu: {
+        ++st.branches;
+        if (eval_branch(in.op, a, bval)) {
+          ++st.taken;
+          next = pc + static_cast<std::uint32_t>(imm * 4);
+        }
+        break;
+      }
+      case Opcode::kJal:
+        ++st.branches;
+        ++st.taken;
+        write_reg(in.rd, pc + 4);
+        next = pc + static_cast<std::uint32_t>(imm * 4);
+        break;
+      case Opcode::kJalr:
+        ++st.branches;
+        ++st.taken;
+        next = (a + uimm) & ~3u;
+        write_reg(in.rd, pc + 4);
+        break;
+    }
+  }
+
+  static bool eval_branch(Opcode op, std::uint32_t a, std::uint32_t b) {
+    const auto sa = static_cast<std::int32_t>(a);
+    const auto sb = static_cast<std::int32_t>(b);
+    switch (op) {
+      case Opcode::kBeq: return a == b;
+      case Opcode::kBne: return a != b;
+      case Opcode::kBlt: return sa < sb;
+      case Opcode::kBge: return sa >= sb;
+      case Opcode::kBltu: return a < b;
+      case Opcode::kBgeu: return a >= b;
+      default: return false;
+    }
+  }
+
+  bool do_load(const Instruction& in, std::uint32_t addr) {
+    if (addr >= kMmioConsole) {
+      fault("load from MMIO region");
+      return false;
+    }
+    std::uint32_t value = 0;
+    switch (in.op) {
+      case Opcode::kLw:
+        if (addr % 4 != 0) { fault("misaligned lw"); return false; }
+        value = mem_.load32(addr);
+        break;
+      case Opcode::kLh:
+        if (addr % 2 != 0) { fault("misaligned lh"); return false; }
+        value = static_cast<std::uint32_t>(sign_extend(mem_.load16(addr), 16));
+        break;
+      case Opcode::kLhu:
+        if (addr % 2 != 0) { fault("misaligned lhu"); return false; }
+        value = mem_.load16(addr);
+        break;
+      case Opcode::kLb:
+        value = static_cast<std::uint32_t>(sign_extend(mem_.load8(addr), 8));
+        break;
+      case Opcode::kLbu:
+        value = mem_.load8(addr);
+        break;
+      default:
+        return false;
+    }
+    write_reg(in.rd, value);
+    return true;
+  }
+
+  bool do_store(const Instruction& in, std::uint32_t addr, std::uint32_t value) {
+    if (addr >= kMmioConsole) return do_mmio(addr, value);
+    switch (in.op) {
+      case Opcode::kSw:
+        if (addr % 4 != 0) { fault("misaligned sw"); return false; }
+        mem_.store32(addr, value);
+        break;
+      case Opcode::kSh:
+        if (addr % 2 != 0) { fault("misaligned sh"); return false; }
+        mem_.store16(addr, static_cast<std::uint16_t>(value));
+        break;
+      case Opcode::kSb:
+        mem_.store8(addr, static_cast<std::uint8_t>(value));
+        break;
+      default:
+        return false;
+    }
+    // A store into the text section makes every cached decryption stale;
+    // the cycle machine refetches live and would see (and reset on) the
+    // modified ciphertext, so drop the cache and do the same.
+    if (image_.sofia && addr + 4 > image_.text_base &&
+        addr < image_.text_base + image_.text_bytes())
+      cache_.clear();
+    return true;
+  }
+
+  bool do_mmio(std::uint32_t addr, std::uint32_t value) {
+    switch (addr) {
+      case kMmioConsole:
+        result_.output.push_back(static_cast<char>(value & 0xFF));
+        return true;
+      case kMmioExit:
+        result_.exit_code = static_cast<int>(value);
+        finish(RunResult::Status::kExited);
+        return false;
+      case kMmioPutInt:
+        result_.output += std::to_string(static_cast<std::int32_t>(value));
+        result_.output.push_back('\n');
+        return true;
+      default:
+        fault("store to unmapped MMIO address");
+        return false;
+    }
+  }
+
+  const assembler::LoadImage& image_;
+  const SimConfig& config_;
+  Memory mem_;
+  std::unique_ptr<crypto::BlockCipher64> enc_;
+  std::unique_ptr<crypto::BlockCipher64> exec_mac_;
+  std::unique_ptr<crypto::BlockCipher64> mux_mac_;
+  std::unordered_map<std::uint64_t, Block> cache_;
+  Block scratch_;  ///< fault-injection runs bypass the cache
+  std::uint32_t regs_[isa::kNumRegs] = {};
+  std::uint64_t fetch_count_ = 0;
+  bool done_ = false;
+  RunResult result_;
+};
+
+}  // namespace
+
+RunResult FunctionalBackend::run(const assembler::LoadImage& image,
+                                 const SimConfig& config) const {
+  FunctionalMachine machine(image, config);
+  return machine.run();
+}
+
+}  // namespace sofia::sim

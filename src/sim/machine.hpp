@@ -12,6 +12,12 @@ namespace sofia::sim {
 /// configured device keys and block policy must match the ones the binary
 /// was transformed with — a mismatch behaves exactly like tampering (the
 /// device resets), which is itself the paper's security property.
+///
+/// This is the cycle-accurate machine, i.e. the implementation behind the
+/// "cycle" entry of sim::backend_registry() (sim/backend.hpp). Consumers
+/// outside src/sim should route through the registry (via
+/// pipeline::Pipeline), not call this directly — only the simulator's own
+/// tests and the cipher microbench are expected here.
 RunResult run_image(const assembler::LoadImage& image, const SimConfig& config);
 
 }  // namespace sofia::sim

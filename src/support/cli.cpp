@@ -36,28 +36,43 @@ Parser::Parser(std::string program, std::string summary)
     : program_(std::move(program)), summary_(std::move(summary)) {}
 
 Parser& Parser::flag(std::string name, bool& out, std::string help) {
-  flags_.push_back({std::move(name), Kind::kBool, &out, "", std::move(help)});
+  flags_.push_back({std::move(name), Kind::kBool, &out, "", std::move(help), {}});
   return *this;
 }
 
 Parser& Parser::option(std::string name, std::string& out,
                        std::string value_name, std::string help) {
   flags_.push_back({std::move(name), Kind::kString, &out,
-                    std::move(value_name), std::move(help)});
+                    std::move(value_name), std::move(help), {}});
   return *this;
 }
 
 Parser& Parser::option(std::string name, std::uint32_t& out,
                        std::string value_name, std::string help) {
   flags_.push_back({std::move(name), Kind::kUint32, &out,
-                    std::move(value_name), std::move(help)});
+                    std::move(value_name), std::move(help), {}});
   return *this;
 }
 
 Parser& Parser::option(std::string name, std::uint64_t& out,
                        std::string value_name, std::string help) {
   flags_.push_back({std::move(name), Kind::kUint64, &out,
-                    std::move(value_name), std::move(help)});
+                    std::move(value_name), std::move(help), {}});
+  return *this;
+}
+
+Parser& Parser::choice(std::string name, std::string& out,
+                       std::vector<std::string> choices, std::string help) {
+  // The usage placeholder is the choice list itself ("<cycle|functional>"),
+  // so --help always names the accepted set.
+  std::string placeholder;
+  for (const auto& c : choices) {
+    if (!placeholder.empty()) placeholder += '|';
+    placeholder += c;
+  }
+  Flag f{std::move(name), Kind::kChoice, &out, std::move(placeholder),
+         std::move(help), std::move(choices)};
+  flags_.push_back(std::move(f));
   return *this;
 }
 
@@ -130,6 +145,22 @@ Parser::Result Parser::parse(int argc, const char* const* argv) const {
         case Kind::kString:
           *static_cast<std::string*>(f->out) = std::string(value);
           break;
+        case Kind::kChoice: {
+          bool accepted = false;
+          for (const auto& c : f->choices) accepted = accepted || c == value;
+          if (!accepted) {
+            std::string allowed;
+            for (const auto& c : f->choices) {
+              if (!allowed.empty()) allowed += ", ";
+              allowed += c;
+            }
+            return error("option '" + f->name + "': invalid value '" +
+                         std::string(value) + "' (choose from " + allowed +
+                         ")");
+          }
+          *static_cast<std::string*>(f->out) = std::string(value);
+          break;
+        }
         case Kind::kUint32: {
           std::uint64_t v = 0;
           if (!parse_uint(value, std::numeric_limits<std::uint32_t>::max(), v))

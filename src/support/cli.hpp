@@ -49,6 +49,13 @@ class Parser {
   Parser& option(std::string name, std::uint64_t& out, std::string value_name,
                  std::string help);
 
+  /// Choice-typed option: the value must be one of `choices` (exact match).
+  /// The generated usage lists the choices as the placeholder
+  /// ("--backend <cycle|functional>"); any other value is a parse error
+  /// (diagnostic names the accepted set, usage + exit 2 via parse_or_exit).
+  Parser& choice(std::string name, std::string& out,
+                 std::vector<std::string> choices, std::string help);
+
   /// Required positional argument.
   Parser& positional(std::string name, std::string& out);
 
@@ -84,7 +91,7 @@ class Parser {
   int fail(const std::string& message, std::FILE* err = stderr) const;
 
  private:
-  enum class Kind { kBool, kString, kUint32, kUint64 };
+  enum class Kind { kBool, kString, kUint32, kUint64, kChoice };
 
   struct Flag {
     std::string name;
@@ -92,6 +99,7 @@ class Parser {
     void* out = nullptr;
     std::string value_name;
     std::string help;
+    std::vector<std::string> choices;  ///< kChoice: the accepted values
     bool takes_value() const { return kind != Kind::kBool; }
   };
 

@@ -72,6 +72,35 @@ TEST(Cli, RejectsMissingValuesAndMalformedNumbers) {
   EXPECT_EQ(parse(q, {"--b=1"}).status, Parser::Result::Status::kError);
 }
 
+TEST(Cli, ChoiceAcceptsOnlyTheListedValues) {
+  std::string backend = "cycle";
+  Parser p("tool");
+  p.choice("--backend", backend, {"cycle", "functional"}, "which simulator");
+  ASSERT_TRUE(parse(p, {"--backend", "functional"}).ok());
+  EXPECT_EQ(backend, "functional");
+  ASSERT_TRUE(parse(p, {"--backend=cycle"}).ok());
+  EXPECT_EQ(backend, "cycle");
+
+  const auto bad = parse(p, {"--backend", "warp"});
+  EXPECT_EQ(bad.status, Parser::Result::Status::kError);
+  // The diagnostic names the rejected value and the accepted set.
+  EXPECT_NE(bad.message.find("warp"), std::string::npos) << bad.message;
+  EXPECT_NE(bad.message.find("cycle, functional"), std::string::npos)
+      << bad.message;
+  EXPECT_EQ(backend, "cycle");  // unchanged on error
+}
+
+TEST(Cli, ChoiceUsageListsTheChoices) {
+  std::string backend;
+  std::string cipher;
+  Parser p("tool");
+  p.choice("--backend", backend, {"cycle", "functional"}, "which simulator")
+      .choice("--cipher", cipher, {"rectangle80", "speck64"}, "which cipher");
+  const auto u = p.usage();
+  EXPECT_NE(u.find("--backend <cycle|functional>"), std::string::npos) << u;
+  EXPECT_NE(u.find("--cipher <rectangle80|speck64>"), std::string::npos) << u;
+}
+
 TEST(Cli, PositionalsRequiredOptionalAndList) {
   std::string in;
   std::string out;

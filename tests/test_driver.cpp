@@ -194,10 +194,11 @@ TEST(Sweep, JsonCarriesSchemaAndPerJobRecords) {
   spec.workloads = {"fib"};
   spec.configs.resize(1);
   const auto doc = driver::to_json(driver::run_sweep(spec, 1));
-  EXPECT_NE(doc.find("\"schema\": \"sofia-sweep-v2\""), std::string::npos);
+  EXPECT_NE(doc.find("\"schema\": \"sofia-sweep-v3\""), std::string::npos);
   EXPECT_NE(doc.find("\"sweep\": \"unit\""), std::string::npos);
   EXPECT_NE(doc.find("\"index\": 0"), std::string::npos);
   EXPECT_NE(doc.find("\"workload\": \"fib\""), std::string::npos);
+  EXPECT_NE(doc.find("\"backend\": \"cycle\""), std::string::npos);
   EXPECT_NE(doc.find("\"fingerprint\": \"gran=per-pair"), std::string::npos);
   EXPECT_NE(doc.find("\"cycles\""), std::string::npos);
   EXPECT_NE(doc.find("\"text_bytes\""), std::string::npos);

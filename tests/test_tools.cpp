@@ -192,7 +192,7 @@ TEST_F(Tools, SweepSmokeJsonIdenticalAcrossThreadCounts) {
   const auto doc1 = slurp(json1);
   EXPECT_FALSE(doc1.empty());
   EXPECT_EQ(doc1, slurp(json8));
-  EXPECT_NE(doc1.find("\"schema\": \"sofia-sweep-v2\""), std::string::npos);
+  EXPECT_NE(doc1.find("\"schema\": \"sofia-sweep-v3\""), std::string::npos);
   std::remove(json1.c_str());
   std::remove(json8.c_str());
 }
@@ -212,6 +212,72 @@ TEST_F(Tools, AssembleRunSpeck64) {
   EXPECT_NE(run_out.find("status=exited"), std::string::npos) << run_out;
 }
 
+TEST_F(Tools, FunctionalBackendRunsAndAgrees) {
+  // sofia_run --backend functional executes the same hardened image with
+  // identical architectural results (exit code via the MMIO exit register).
+  int code = 0;
+  run_command(std::string(SOFIA_ASM_BIN) + " --quiet --key-seed 5 " + src_ +
+                  " " + img_, &code);
+  ASSERT_EQ(code, 0);
+  const auto run_out = run_command(std::string(SOFIA_RUN_BIN) +
+                                       " --backend functional --key-seed 5 " +
+                                       img_, &code);
+  EXPECT_EQ(code, 33) << run_out;
+  EXPECT_NE(run_out.find("status=exited"), std::string::npos) << run_out;
+  EXPECT_NE(run_out.find("backend=functional"), std::string::npos) << run_out;
+}
+
+TEST_F(Tools, FunctionalBackendStillResetsOnKeyMismatch) {
+  int code = 0;
+  run_command(std::string(SOFIA_ASM_BIN) + " --quiet --key-seed 5 " + src_ +
+                  " " + img_, &code);
+  ASSERT_EQ(code, 0);
+  const auto run_out = run_command(std::string(SOFIA_RUN_BIN) +
+                                       " --backend functional --key-seed 6 " +
+                                       img_, &code);
+  EXPECT_EQ(code, 3) << run_out;
+  EXPECT_NE(run_out.find("status=reset"), std::string::npos) << run_out;
+  EXPECT_NE(run_out.find("mac-mismatch"), std::string::npos) << run_out;
+}
+
+TEST_F(Tools, UnknownBackendRejectedWithChoices) {
+  int code = 0;
+  const auto out = run_command(
+      std::string(SOFIA_RUN_BIN) + " --backend warp " + img_, &code);
+  EXPECT_EQ(code, 2) << out;
+  EXPECT_NE(out.find("invalid value 'warp'"), std::string::npos) << out;
+  EXPECT_NE(out.find("cycle, functional"), std::string::npos) << out;
+  EXPECT_NE(out.find("usage:"), std::string::npos) << out;
+}
+
+TEST_F(Tools, ReportSuppressesTimingRowsForFunctionalBackend) {
+  // The functional backend's "cycles" are instruction counts; the report
+  // must refuse to present them as the paper's timing reproduction.
+  int code = 0;
+  const auto out = run_command(
+      std::string(SOFIA_REPORT_BIN) + " --quick --backend functional", &code);
+  EXPECT_EQ(code, 0) << out;
+  EXPECT_NE(out.find("n/a"), std::string::npos) << out;
+  EXPECT_NE(out.find("not cycle-accurate"), std::string::npos) << out;
+  EXPECT_NE(out.find("ADPCM text expansion"), std::string::npos) << out;
+}
+
+TEST_F(Tools, SweepFunctionalBackendLandsInTheDocument) {
+  const std::string tag = std::to_string(getpid());
+  const std::string json = "/tmp/sofia_sweep_" + tag + "_fn.json";
+  int code = 0;
+  const auto out = run_command(std::string(SOFIA_SWEEP_BIN) +
+                                   " --smoke --quiet --backend functional "
+                                   "--threads 2 --json " + json, &code);
+  EXPECT_EQ(code, 0) << out;
+  std::ifstream in(json, std::ios::binary);
+  const std::string doc((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+  EXPECT_NE(doc.find("\"backend\": \"functional\""), std::string::npos);
+  EXPECT_NE(doc.find("backend=functional"), std::string::npos);  // fingerprint
+  std::remove(json.c_str());
+}
+
 TEST_F(Tools, CipherMismatchResetsInsteadOfCrashing) {
   // Image built for a Speck64 device, run on the default RECTANGLE-80
   // device: architectural reset (mac-mismatch), exit 3 — never a crash.
@@ -226,11 +292,15 @@ TEST_F(Tools, CipherMismatchResetsInsteadOfCrashing) {
 }
 
 TEST_F(Tools, UnknownCipherRejected) {
+  // --cipher is a choice-typed flag: a bad value is a parse error (usage +
+  // exit 2) that names the accepted set, uniformly with every other flag.
   int code = 0;
   const auto out = run_command(
       std::string(SOFIA_ASM_BIN) + " --cipher des " + src_ + " " + img_, &code);
-  EXPECT_EQ(code, 1) << out;
-  EXPECT_NE(out.find("unknown cipher"), std::string::npos) << out;
+  EXPECT_EQ(code, 2) << out;
+  EXPECT_NE(out.find("invalid value 'des'"), std::string::npos) << out;
+  EXPECT_NE(out.find("rectangle80"), std::string::npos) << out;
+  EXPECT_NE(out.find("usage:"), std::string::npos) << out;
 }
 
 TEST_F(Tools, EveryToolRejectsUnknownFlagsWithUsage) {

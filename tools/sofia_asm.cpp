@@ -26,7 +26,7 @@ int main(int argc, char** argv) {
   cli::Parser parser("sofia_asm",
                      "assemble an SR32 source file into a loadable image");
   parser.flag("--vanilla", vanilla, "skip the SOFIA transform (baseline binary)")
-      .option("--cipher", cipher, "name", "device cipher: rectangle80 | speck64")
+      .choice("--cipher", cipher, {"rectangle80", "speck64"}, "device cipher")
       .option("--key-seed", key_seed, "n",
               "derive the device KeySet from a seed (default: example keys)")
       .flag("--per-word", per_word, "Alg. 1 per-word CTR (default: per-pair)")

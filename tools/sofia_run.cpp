@@ -7,6 +7,7 @@
 #include <string>
 
 #include "pipeline/pipeline.hpp"
+#include "sim/backend.hpp"
 #include "support/cli.hpp"
 #include "support/error.hpp"
 
@@ -14,6 +15,7 @@ int main(int argc, char** argv) {
   using namespace sofia;
   std::string key_seed;
   std::string cipher = "rectangle80";
+  std::string backend(sim::kDefaultBackend);
   bool stats = false;
   std::uint64_t max_cycles = 0;
   std::string path;
@@ -21,8 +23,11 @@ int main(int argc, char** argv) {
   cli::Parser parser("sofia_run",
                      "execute a saved image on the simulated device");
   parser
-      .option("--cipher", cipher, "name",
-              "device cipher: rectangle80 | speck64 (must match sofia_asm's)")
+      .choice("--cipher", cipher, {"rectangle80", "speck64"},
+              "device cipher (must match sofia_asm's)")
+      .choice("--backend", backend, sim::backend_names(),
+              "execution backend: cycle = paper-faithful timing, "
+              "functional = fast architectural run")
       .option("--key-seed", key_seed, "n",
               "device KeySet seed (must match sofia_asm's)")
       .option("--max-cycles", max_cycles, "n", "cycle budget (default 2e9)")
@@ -38,6 +43,7 @@ int main(int argc, char** argv) {
         return parser.fail("--key-seed: invalid number '" + key_seed + "'");
       profile = pipeline::DeviceProfile::from_seed(profile.cipher, seed);
     }
+    profile.backend = pipeline::DeviceProfile::parse_backend(backend);
 
     auto session = pipeline::Pipeline::from_image_file(path, profile);
     if (max_cycles != 0) {
@@ -51,6 +57,8 @@ int main(int argc, char** argv) {
     if (!run.output.empty()) std::fputs(run.output.c_str(), stdout);
     std::printf("[%s core] status=%s", image.sofia ? "SOFIA" : "vanilla",
                 to_string(run.status).data());
+    if (backend != sim::kDefaultBackend)
+      std::printf(" backend=%s", backend.c_str());
     if (run.status == sim::RunResult::Status::kExited)
       std::printf(" code=%d", run.exit_code);
     if (run.status == sim::RunResult::Status::kReset)

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "driver/sweep.hpp"
+#include "sim/backend.hpp"
 #include "support/cli.hpp"
 #include "support/error.hpp"
 
@@ -39,6 +40,7 @@ bool spill(const std::string& path, const std::string& content) {
 int main(int argc, char** argv) {
   using namespace sofia;
   std::string matrix_name = "suite-overhead";
+  std::string backend(sim::kDefaultBackend);
   std::string json_path;
   std::string shard_text;
   std::string merge_out;
@@ -53,6 +55,9 @@ int main(int argc, char** argv) {
   parser
       .option("--matrix", matrix_name, "NAME",
               "matrix to run (default: suite-overhead; see --list)")
+      .choice("--backend", backend, sofia::sim::backend_names(),
+              "execution backend for every job (functional = fast "
+              "architectural prefilter, no timing)")
       .option("--threads", threads, "N",
               "worker threads (default: hardware concurrency)")
       .option("--json", json_path, "PATH", "write the results document to PATH")
@@ -99,6 +104,7 @@ int main(int argc, char** argv) {
 
     driver::SweepSpec spec = driver::matrix(matrix_name);
     if (smoke) spec = driver::smoke(std::move(spec));
+    spec = driver::with_backend(std::move(spec), backend);
     const auto jobs = driver::expand_jobs(spec);
     if (shard.is_whole()) {
       std::printf("sweep %-20s %zu jobs on %u thread(s)\n", spec.name.c_str(),
