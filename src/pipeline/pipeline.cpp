@@ -11,7 +11,14 @@
 namespace sofia::pipeline {
 
 Pipeline::Pipeline(std::string name, DeviceProfile profile)
-    : name_(std::move(name)), profile_(profile) {}
+    : name_(std::move(name)), profile_(profile) {
+  // Resolve a valid backend eagerly: backend() then never mutates, so the
+  // const run_image() overloads stay safe to call concurrently on a shared
+  // session (Backend::run itself is documented concurrency-safe). An
+  // unknown name is still reported lazily, with stage context, by backend().
+  if (sim::is_backend(profile_.backend))
+    backend_ = sim::make_backend(profile_.backend);
+}
 
 void Pipeline::fail(const char* stage, const std::string& what) const {
   throw Error("pipeline[" + name_ + "]/" + stage + ": " + what);
@@ -159,14 +166,15 @@ sim::SimConfig Pipeline::effective_sim_config() const {
 }
 
 const sim::Backend& Pipeline::backend() const {
-  if (!backend_) {
-    try {
-      backend_ = sim::make_backend(profile_.backend);
-    } catch (const std::exception& e) {
-      fail("backend", e.what());
-    }
+  if (backend_) return *backend_;
+  // The constructor only resolves registered names; re-run the registry
+  // lookup here for its descriptive error (valid choices included).
+  try {
+    sim::make_backend(profile_.backend);
+  } catch (const std::exception& e) {
+    fail("backend", e.what());
   }
-  return *backend_;
+  fail("backend", "unknown backend '" + profile_.backend + "'");
 }
 
 const sim::RunResult& Pipeline::run() {

@@ -175,7 +175,8 @@ class Pipeline {
 
   std::string name_;
   DeviceProfile profile_;
-  mutable std::unique_ptr<sim::Backend> backend_;  ///< lazy, see backend()
+  std::unique_ptr<sim::Backend> backend_;  ///< resolved in the ctor; null
+                                           ///< only for unknown names
   sim::SimConfig base_config_;
   assembler::MemoryLayout mem_;
   bool elide_unreachable_ = false;

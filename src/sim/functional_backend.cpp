@@ -97,6 +97,13 @@ class FunctionalMachine {
   }
 
   const Block& enter_block(std::uint32_t target_word, std::uint32_t prev_word) {
+    // Deferred invalidation: a store into the text section marks the cache
+    // dirty (see do_store) and we drop it here, between blocks — never while
+    // run_sofia() still executes out of a reference into cache_.
+    if (text_dirty_) {
+      cache_.clear();
+      text_dirty_ = false;
+    }
     const std::uint64_t key =
         (static_cast<std::uint64_t>(target_word) << 32) | prev_word;
     // With a fault armed every entry must refetch, or the fetch counter
@@ -428,10 +435,12 @@ class FunctionalMachine {
     }
     // A store into the text section makes every cached decryption stale;
     // the cycle machine refetches live and would see (and reset on) the
-    // modified ciphertext, so drop the cache and do the same.
+    // modified ciphertext. Only mark the cache dirty here — the executing
+    // block is a reference into cache_, so the actual clear waits until
+    // the next enter_block().
     if (image_.sofia && addr + 4 > image_.text_base &&
         addr < image_.text_base + image_.text_bytes())
-      cache_.clear();
+      text_dirty_ = true;
     return true;
   }
 
@@ -462,6 +471,7 @@ class FunctionalMachine {
   std::unique_ptr<crypto::BlockCipher64> mux_mac_;
   std::unordered_map<std::uint64_t, Block> cache_;
   Block scratch_;  ///< fault-injection runs bypass the cache
+  bool text_dirty_ = false;  ///< store hit text; clear cache_ between blocks
   std::uint32_t regs_[isa::kNumRegs] = {};
   std::uint64_t fetch_count_ = 0;
   bool done_ = false;

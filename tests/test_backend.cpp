@@ -213,6 +213,49 @@ TEST(BackendCrossValidation, TamperedTextResetsIdenticallyUnderBothBackends) {
   EXPECT_EQ(cyc.reset.pc, fn.reset.pc);
 }
 
+TEST(BackendCrossValidation, SelfModifyingStoreToTextResetsUnderBothBackends) {
+  // A program that tampers its own ciphertext at run time and then enters
+  // the modified block. The cycle machine fetches live from memory and
+  // resets on the bad MAC; the functional backend must invalidate its
+  // decoded-block cache on the store-to-text and reset identically — and
+  // must keep executing the in-flight block safely until then (this test
+  // runs under the ASan CI job precisely to police that invalidation path).
+  // Pass 0 calls victim cleanly (the functional backend caches the verified
+  // block under this exact (entry, prevPC) pair), then flips one ciphertext
+  // bit inside victim and loops to the very same call site. A stale cache
+  // hit would sail through to the halt at `missed`; correct invalidation
+  // refetches and resets on the bad MAC.
+  const char* source = R"(
+main:
+  li r5, 0
+  la r10, victim
+loop:
+  call victim
+  bnez r5, missed
+  li r5, 1
+  lw r11, 0(r10)
+  xori r11, r11, 1
+  sw r11, 0(r10)
+  j loop
+missed:
+  halt
+victim:
+  ret
+)";
+  auto cyc_session = Pipeline::from_source(source);
+  const auto& cyc = cyc_session.run();
+  auto fn_session = Pipeline::from_source(source, functional_profile());
+  const auto& fn = fn_session.run();
+  ASSERT_EQ(cyc.status, sim::RunResult::Status::kReset);
+  ASSERT_EQ(fn.status, sim::RunResult::Status::kReset);
+  EXPECT_EQ(cyc.reset.cause, sim::ResetCause::kMacMismatch);
+  EXPECT_EQ(fn.reset.cause, cyc.reset.cause);
+  EXPECT_EQ(fn.reset.pc, cyc.reset.pc);
+  // Every instruction before the tampering transfer still committed.
+  EXPECT_EQ(fn.stats.insts, cyc.stats.insts);
+  EXPECT_EQ(fn.stats.stores, cyc.stats.stores);
+}
+
 TEST(BackendCrossValidation, KeyMismatchResetsUnderBothBackends) {
   auto speck = Pipeline::from_source(
       kSource, DeviceProfile::example(crypto::CipherKind::kSpeck64_128));

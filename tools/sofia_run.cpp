@@ -43,7 +43,7 @@ int main(int argc, char** argv) {
         return parser.fail("--key-seed: invalid number '" + key_seed + "'");
       profile = pipeline::DeviceProfile::from_seed(profile.cipher, seed);
     }
-    profile.backend = pipeline::DeviceProfile::parse_backend(backend);
+    profile.backend = backend;  // already validated by the choice flag
 
     auto session = pipeline::Pipeline::from_image_file(path, profile);
     if (max_cycles != 0) {
