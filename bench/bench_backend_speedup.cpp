@@ -9,13 +9,14 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
-#include <fstream>
 #include <functional>
 #include <string>
 #include <vector>
 
 #include "pipeline/pipeline.hpp"
 #include "support/cli.hpp"
+#include "support/error.hpp"
+#include "support/io.hpp"
 #include "support/json.hpp"
 #include "support/measure.hpp"
 
@@ -141,13 +142,12 @@ int main(int argc, char** argv) {
     w.end_array();
     w.member("mean_speedup", mean);
     w.end_object();
-    std::ofstream out(json_path, std::ios::binary);
-    if (!out) {
-      std::fprintf(stderr, "bench_backend_speedup: cannot write '%s'\n",
-                   json_path.c_str());
+    try {
+      sofia::io::write_file(json_path, w.str() + "\n");
+    } catch (const sofia::Error& e) {
+      std::fprintf(stderr, "bench_backend_speedup: %s\n", e.what());
       return 1;
     }
-    out << w.str() << '\n';
     std::printf("wrote %s\n", json_path.c_str());
   }
   return all_agree ? 0 : 1;

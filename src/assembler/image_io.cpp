@@ -1,9 +1,7 @@
 #include "assembler/image_io.hpp"
 
-#include <cstdio>
-#include <memory>
-
 #include "support/error.hpp"
+#include "support/io.hpp"
 
 namespace sofia::assembler {
 namespace {
@@ -108,24 +106,11 @@ LoadImage deserialize_image(const std::vector<std::uint8_t>& bytes) {
 }
 
 void save_image(const LoadImage& image, const std::string& path) {
-  const auto bytes = serialize_image(image);
-  std::unique_ptr<std::FILE, int (*)(std::FILE*)> file(
-      std::fopen(path.c_str(), "wb"), &std::fclose);
-  if (!file) throw Error("image: cannot open '" + path + "' for writing");
-  if (std::fwrite(bytes.data(), 1, bytes.size(), file.get()) != bytes.size())
-    throw Error("image: short write to '" + path + "'");
+  io::write_file(path, serialize_image(image));
 }
 
 LoadImage load_image_file(const std::string& path) {
-  std::unique_ptr<std::FILE, int (*)(std::FILE*)> file(
-      std::fopen(path.c_str(), "rb"), &std::fclose);
-  if (!file) throw Error("image: cannot open '" + path + "'");
-  std::vector<std::uint8_t> bytes;
-  std::uint8_t buffer[4096];
-  std::size_t n = 0;
-  while ((n = std::fread(buffer, 1, sizeof buffer, file.get())) > 0)
-    bytes.insert(bytes.end(), buffer, buffer + n);
-  return deserialize_image(bytes);
+  return deserialize_image(io::read_file_bytes(path));
 }
 
 }  // namespace sofia::assembler

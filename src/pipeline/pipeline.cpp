@@ -1,12 +1,11 @@
 #include "pipeline/pipeline.hpp"
 
-#include <fstream>
-#include <sstream>
 #include <utility>
 
 #include "assembler/image_io.hpp"
 #include "assembler/link.hpp"
 #include "support/error.hpp"
+#include "support/io.hpp"
 
 namespace sofia::pipeline {
 
@@ -16,8 +15,10 @@ Pipeline::Pipeline(std::string name, DeviceProfile profile)
   // const run_image() overloads stay safe to call concurrently on a shared
   // session (Backend::run itself is documented concurrency-safe). An
   // unknown name is still reported lazily, with stage context, by backend().
+  // The spec-taking overload routes profile.remote to a "remote" backend
+  // (the registry's no-argument factory would only see the environment).
   if (sim::is_backend(profile_.backend))
-    backend_ = sim::make_backend(profile_.backend);
+    backend_ = sim::make_backend(profile_.backend, profile_.remote);
 }
 
 void Pipeline::fail(const char* stage, const std::string& what) const {
@@ -47,13 +48,9 @@ Pipeline Pipeline::from_source(std::string source, DeviceProfile profile,
 Pipeline Pipeline::from_source_file(const std::string& path,
                                     DeviceProfile profile) {
   Pipeline p(path, profile);
-  p.run_stage("read", [&] {
-    std::ifstream in(path);
-    if (!in) throw Error("cannot open '" + path + "'");
-    std::stringstream buffer;
-    buffer << in.rdbuf();
-    p.source_ = buffer.str();
-  });
+  // Binary-mode read via support/io, matching the tools (a text-mode read
+  // would diverge on CRLF sources and hide short reads).
+  p.run_stage("read", [&] { p.source_ = io::read_file(path); });
   return p;
 }
 

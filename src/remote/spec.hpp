@@ -1,0 +1,44 @@
+// The remote-execution endpoint: how to reach a sofia_worker process and
+// which far-side backend it should run. The transport is deliberately just
+// "a command whose stdin/stdout speak the wire protocol", so the same spec
+// covers a local subprocess ("build/tools/sofia_worker"), an ssh hop
+// ("ssh host /opt/sofia/sofia_worker") or a container runner
+// ("docker run -i --rm sofia sofia_worker") without any code changes.
+#pragma once
+
+#include <string>
+
+namespace sofia::remote {
+
+/// Environment variables filling unset RemoteSpec fields (resolved()), so
+/// `sofia_run --backend remote` works without plumbing a spec.
+inline constexpr const char* kWorkerEnv = "SOFIA_WORKER";
+inline constexpr const char* kWorkerBackendEnv = "SOFIA_WORKER_BACKEND";
+
+struct RemoteSpec {
+  /// Worker launch command, run via `sh -c` with the wire protocol on its
+  /// stdin/stdout. Empty = unconfigured (resolved() consults $SOFIA_WORKER;
+  /// still empty means run() reports how to set it).
+  std::string command;
+  /// Far-side backend registry key the worker executes requests on
+  /// ("cycle" or "functional"; "remote" is rejected to stop recursion).
+  /// Empty = unset: resolved() consults $SOFIA_WORKER_BACKEND, then
+  /// defaults to "cycle" — so an *explicit* "cycle" is distinguishable
+  /// from the default and is never overridden by the environment.
+  std::string backend;
+
+  bool configured() const { return !command.empty(); }
+
+  /// The raw environment spec ($SOFIA_WORKER / $SOFIA_WORKER_BACKEND;
+  /// unset variables stay empty).
+  static RemoteSpec from_environment();
+
+  /// The effective endpoint: unset fields filled from the environment,
+  /// then the backend defaulted to "cycle". This is the single resolution
+  /// rule — RemoteBackend runs on it and DeviceProfile fingerprints it.
+  RemoteSpec resolved() const;
+
+  friend bool operator==(const RemoteSpec&, const RemoteSpec&) = default;
+};
+
+}  // namespace sofia::remote

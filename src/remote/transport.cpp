@@ -1,0 +1,133 @@
+#include "remote/transport.hpp"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "support/error.hpp"
+
+namespace sofia::remote {
+
+namespace {
+
+/// Writing to a worker that already exited must surface as EPIPE from
+/// fwrite, not kill the coordinator with SIGPIPE. Installed once, before
+/// the first spawn. An *ignored* disposition survives exec (only caught
+/// handlers reset), so the child restores SIG_DFL between fork and exec —
+/// launch commands that are themselves shell pipelines keep the normal
+/// die-on-SIGPIPE behavior.
+void ignore_sigpipe_once() {
+  static const bool done = [] {
+    struct sigaction sa{};
+    sa.sa_handler = SIG_IGN;
+    sigaction(SIGPIPE, &sa, nullptr);
+    return true;
+  }();
+  (void)done;
+}
+
+}  // namespace
+
+WorkerProcess::WorkerProcess(std::string command)
+    : command_(std::move(command)) {
+  ignore_sigpipe_once();
+  int to_child[2] = {-1, -1};    // parent writes -> child stdin
+  int from_child[2] = {-1, -1};  // child stdout -> parent reads
+  // O_CLOEXEC atomically at creation: a concurrent spawn's fork landing
+  // between pipe() and a later fcntl would duplicate these fds into a
+  // sibling worker, whose copy of our write end defeats the EOF-based
+  // shutdown. The child's dup2 onto stdio clears the flag on its copies.
+  if (pipe2(to_child, O_CLOEXEC) != 0 || pipe2(from_child, O_CLOEXEC) != 0) {
+    if (to_child[0] != -1) {
+      close(to_child[0]);
+      close(to_child[1]);
+    }
+    throw Error("remote: cannot create pipes for worker '" + command_ +
+                "': " + std::strerror(errno));
+  }
+  const pid_t pid = fork();
+  if (pid < 0) {
+    for (const int fd : {to_child[0], to_child[1], from_child[0], from_child[1]})
+      close(fd);
+    throw Error("remote: cannot fork worker '" + command_ +
+                "': " + std::strerror(errno));
+  }
+  if (pid == 0) {
+    // Child: wire the pipes onto stdio and hand off to the shell. stderr is
+    // inherited so worker diagnostics land on the coordinator's stderr; the
+    // ignored SIGPIPE is restored to default so it does not leak through
+    // exec into the launch command.
+    struct sigaction sa{};
+    sa.sa_handler = SIG_DFL;
+    sigaction(SIGPIPE, &sa, nullptr);
+    dup2(to_child[0], STDIN_FILENO);
+    dup2(from_child[1], STDOUT_FILENO);
+    close(to_child[0]);
+    close(to_child[1]);
+    close(from_child[0]);
+    close(from_child[1]);
+    execl("/bin/sh", "sh", "-c", command_.c_str(), static_cast<char*>(nullptr));
+    _exit(127);
+  }
+  pid_ = pid;
+  close(to_child[0]);
+  close(from_child[1]);
+  to_worker_ = fdopen(to_child[1], "wb");
+  from_worker_ = fdopen(from_child[0], "rb");
+  if (to_worker_ == nullptr || from_worker_ == nullptr) {
+    if (to_worker_ != nullptr) std::fclose(to_worker_);
+    else close(to_child[1]);
+    if (from_worker_ != nullptr) std::fclose(from_worker_);
+    else close(from_child[0]);
+    kill(pid, SIGKILL);
+    waitpid(pid, nullptr, 0);
+    throw Error("remote: cannot open worker streams for '" + command_ + "'");
+  }
+}
+
+WorkerProcess::~WorkerProcess() {
+  if (to_worker_ != nullptr) std::fclose(to_worker_);  // EOF ends the serve loop
+  if (from_worker_ != nullptr) std::fclose(from_worker_);
+  if (pid_ > 0) {
+    const pid_t pid = static_cast<pid_t>(pid_);
+    // Give a well-behaved worker a moment to exit on EOF, then escalate so
+    // a wedged transport can never hang the coordinator's shutdown.
+    for (int i = 0; i < 200; ++i) {
+      if (waitpid(pid, nullptr, WNOHANG) != 0) return;
+      usleep(10'000);
+    }
+    kill(pid, SIGKILL);
+    waitpid(pid, nullptr, 0);
+  }
+}
+
+void WorkerProcess::fail(const std::string& what) const {
+  throw Error("remote: worker '" + command_ + "': " + what);
+}
+
+void WorkerProcess::send(const Frame& frame) {
+  try {
+    write_frame(to_worker_, frame);
+  } catch (const Error& e) {
+    fail(std::string("request not delivered — ") + e.what());
+  }
+}
+
+Frame WorkerProcess::receive() {
+  Frame frame;
+  bool got = false;
+  try {
+    got = read_frame(from_worker_, frame);
+  } catch (const Error& e) {
+    // read_frame's truncation/corruption story, with the command attached.
+    throw Error("remote: worker '" + command_ + "': " + e.what());
+  }
+  if (!got) fail("exited without replying (is the command a sofia_worker?)");
+  return frame;
+}
+
+}  // namespace sofia::remote

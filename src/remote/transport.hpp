@@ -1,0 +1,49 @@
+// Transport for the remote-execution protocol: a worker subprocess whose
+// stdin/stdout carry wire frames. The command is run through `sh -c`, so
+// the exact same code path serves a local subprocess, an ssh hop or a
+// container runner — anything that forwards stdio works.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "remote/wire.hpp"
+
+namespace sofia::remote {
+
+class WorkerProcess {
+ public:
+  /// Spawn `command` via /bin/sh -c with pipes on its stdin/stdout; throws
+  /// sofia::Error when the process cannot be created. (A command that fails
+  /// to exec is only observed on the first exchange, like a dropped ssh
+  /// connection.)
+  explicit WorkerProcess(std::string command);
+
+  /// Closes the pipes (EOF stops a well-behaved worker's serve loop) and
+  /// reaps the child, escalating to SIGKILL if it lingers.
+  ~WorkerProcess();
+
+  WorkerProcess(const WorkerProcess&) = delete;
+  WorkerProcess& operator=(const WorkerProcess&) = delete;
+
+  /// Write one frame to the worker's stdin; throws sofia::Error naming the
+  /// command when the worker is gone (EPIPE) or the write fails.
+  void send(const Frame& frame);
+
+  /// Read one frame from the worker's stdout; throws sofia::Error naming
+  /// the command on end-of-stream or a malformed/partial frame — a worker
+  /// dying mid-reply is an error, never a hang or an empty result.
+  Frame receive();
+
+  const std::string& command() const { return command_; }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const;
+
+  std::string command_;
+  std::FILE* to_worker_ = nullptr;    ///< worker's stdin
+  std::FILE* from_worker_ = nullptr;  ///< worker's stdout
+  long pid_ = -1;
+};
+
+}  // namespace sofia::remote

@@ -1,0 +1,524 @@
+#include "remote/wire.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include "assembler/image_io.hpp"
+#include "support/error.hpp"
+
+namespace sofia::remote {
+
+namespace {
+
+constexpr std::uint8_t kMagic[4] = {'S', 'F', 'R', 'M'};
+
+[[noreturn]] void wire_fail(const char* what, const std::string& detail) {
+  throw Error("remote-wire: " + std::string(what) + ": " + detail);
+}
+
+// ---- byte writer ----------------------------------------------------------
+
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { out_.push_back(v); }
+  void u16(std::uint16_t v) {
+    u8(static_cast<std::uint8_t>(v));
+    u8(static_cast<std::uint8_t>(v >> 8));
+  }
+  void u32(std::uint32_t v) {
+    u16(static_cast<std::uint16_t>(v));
+    u16(static_cast<std::uint16_t>(v >> 16));
+  }
+  void u64(std::uint64_t v) {
+    u32(static_cast<std::uint32_t>(v));
+    u32(static_cast<std::uint32_t>(v >> 32));
+  }
+  void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+  void str(const std::string& s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    out_.insert(out_.end(), s.begin(), s.end());
+  }
+  void bytes(const std::vector<std::uint8_t>& b) {
+    u32(static_cast<std::uint32_t>(b.size()));
+    out_.insert(out_.end(), b.begin(), b.end());
+  }
+  std::vector<std::uint8_t> take() { return std::move(out_); }
+
+ private:
+  std::vector<std::uint8_t> out_;
+};
+
+// ---- byte reader ----------------------------------------------------------
+
+/// Sequential decoder whose every read names the message and field it was
+/// parsing, so a truncated or corrupt payload produces "remote-wire:
+/// run-request: truncated reading field 'config.max_cycles'" rather than a
+/// zeroed struct.
+class ByteReader {
+ public:
+  ByteReader(const std::vector<std::uint8_t>& bytes, const char* what)
+      : bytes_(bytes), what_(what) {}
+
+  std::uint8_t u8(const char* field) {
+    need(1, field);
+    return bytes_[pos_++];
+  }
+  std::uint16_t u16(const char* field) {
+    need(2, field);
+    const std::uint16_t v = static_cast<std::uint16_t>(
+        bytes_[pos_] | (static_cast<std::uint16_t>(bytes_[pos_ + 1]) << 8));
+    pos_ += 2;
+    return v;
+  }
+  std::uint32_t u32(const char* field) {
+    need(4, field);
+    std::uint32_t v = 0;
+    for (int i = 3; i >= 0; --i) v = (v << 8) | bytes_[pos_ + static_cast<std::size_t>(i)];
+    pos_ += 4;
+    return v;
+  }
+  std::uint64_t u64(const char* field) {
+    const std::uint64_t lo = u32(field);
+    return lo | (static_cast<std::uint64_t>(u32(field)) << 32);
+  }
+  std::int32_t i32(const char* field) {
+    return static_cast<std::int32_t>(u32(field));
+  }
+  bool boolean(const char* field) {
+    const std::uint8_t v = u8(field);
+    if (v > 1)
+      fail(field, "invalid boolean value " + std::to_string(v));
+    return v != 0;
+  }
+  std::string str(const char* field) {
+    const std::uint32_t n = length(field);
+    std::string s;
+    if (n != 0)
+      s.assign(reinterpret_cast<const char*>(bytes_.data() + pos_), n);
+    pos_ += n;
+    return s;
+  }
+  std::vector<std::uint8_t> bytes(const char* field) {
+    const std::uint32_t n = length(field);
+    std::vector<std::uint8_t> b(bytes_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                                bytes_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+    pos_ += n;
+    return b;
+  }
+  /// A count of fixed-size records; rejected when the claimed total exceeds
+  /// the bytes actually present (oversized-length defense).
+  std::uint32_t count(const char* field, std::size_t record_size) {
+    const std::uint32_t n = u32(field);
+    if (record_size != 0 && n > remaining() / record_size)
+      fail(field, "count " + std::to_string(n) + " exceeds the " +
+                      std::to_string(remaining()) + " remaining payload bytes");
+    return n;
+  }
+  void expect_end() {
+    if (pos_ != bytes_.size())
+      wire_fail(what_, std::to_string(bytes_.size() - pos_) +
+                           " trailing payload byte(s) after the last field");
+  }
+  std::size_t remaining() const { return bytes_.size() - pos_; }
+
+  [[noreturn]] void fail(const char* field, const std::string& detail) {
+    wire_fail(what_, "field '" + std::string(field) + "': " + detail);
+  }
+
+ private:
+  void need(std::size_t n, const char* field) {
+    if (remaining() < n)
+      wire_fail(what_, "truncated reading field '" + std::string(field) +
+                           "' (" + std::to_string(remaining()) + " of " +
+                           std::to_string(n) + " byte(s) left)");
+  }
+  std::uint32_t length(const char* field) {
+    const std::uint32_t n = u32(field);
+    if (n > remaining())
+      fail(field, "length " + std::to_string(n) + " exceeds the " +
+                      std::to_string(remaining()) + " remaining payload bytes");
+    return n;
+  }
+
+  const std::vector<std::uint8_t>& bytes_;
+  const char* what_;
+  std::size_t pos_ = 0;
+};
+
+// ---- field-level codecs ---------------------------------------------------
+
+void put_key(ByteWriter& w, const crypto::CipherKey& key) {
+  for (const std::uint8_t b : key) w.u8(b);
+}
+
+crypto::CipherKey get_key(ByteReader& r, const char* field) {
+  crypto::CipherKey key{};
+  for (auto& b : key) b = r.u8(field);
+  return key;
+}
+
+void put_config(ByteWriter& w, const sim::SimConfig& c) {
+  w.u32(c.fetch_queue);
+  w.u32(c.redirect_bubble);
+  w.u32(c.fetch_words_per_cycle);
+  w.u32(c.icache.size_bytes);
+  w.u32(c.icache.line_bytes);
+  w.u32(c.icache.miss_penalty);
+  w.u32(c.load_latency);
+  w.u32(c.mul_latency);
+  w.u8(static_cast<std::uint8_t>(c.keys.kind));
+  put_key(w, c.keys.k1);
+  put_key(w, c.keys.k2);
+  put_key(w, c.keys.k3);
+  w.u16(c.keys.omega);
+  w.u32(c.policy.words_per_block);
+  w.u32(c.policy.store_min_word);
+  w.u32(c.cipher.latency);
+  w.u8(c.cipher.alternate ? 1 : 0);
+  w.u8(c.cipher.pipelined ? 1 : 0);
+  w.u32(c.store_gate_headstart);
+  w.u8(c.fault.enabled ? 1 : 0);
+  w.u64(c.fault.fetch_index);
+  w.u32(static_cast<std::uint32_t>(c.fault.bit));
+  w.u64(c.max_cycles);
+  w.u8(c.collect_trace ? 1 : 0);
+  w.u64(static_cast<std::uint64_t>(c.max_trace));
+}
+
+sim::SimConfig get_config(ByteReader& r) {
+  sim::SimConfig c;
+  c.fetch_queue = r.u32("config.fetch_queue");
+  c.redirect_bubble = r.u32("config.redirect_bubble");
+  c.fetch_words_per_cycle = r.u32("config.fetch_words_per_cycle");
+  c.icache.size_bytes = r.u32("config.icache.size_bytes");
+  c.icache.line_bytes = r.u32("config.icache.line_bytes");
+  c.icache.miss_penalty = r.u32("config.icache.miss_penalty");
+  c.load_latency = r.u32("config.load_latency");
+  c.mul_latency = r.u32("config.mul_latency");
+  const std::uint8_t kind = r.u8("config.keys.kind");
+  if (kind > static_cast<std::uint8_t>(crypto::CipherKind::kSpeck64_128))
+    r.fail("config.keys.kind", "unknown cipher kind " + std::to_string(kind));
+  c.keys.kind = static_cast<crypto::CipherKind>(kind);
+  c.keys.k1 = get_key(r, "config.keys.k1");
+  c.keys.k2 = get_key(r, "config.keys.k2");
+  c.keys.k3 = get_key(r, "config.keys.k3");
+  c.keys.omega = r.u16("config.keys.omega");
+  c.policy.words_per_block = r.u32("config.policy.words_per_block");
+  c.policy.store_min_word = r.u32("config.policy.store_min_word");
+  c.cipher.latency = r.u32("config.cipher.latency");
+  c.cipher.alternate = r.boolean("config.cipher.alternate");
+  c.cipher.pipelined = r.boolean("config.cipher.pipelined");
+  c.store_gate_headstart = r.u32("config.store_gate_headstart");
+  c.fault.enabled = r.boolean("config.fault.enabled");
+  c.fault.fetch_index = r.u64("config.fault.fetch_index");
+  c.fault.bit = r.u32("config.fault.bit");
+  c.max_cycles = r.u64("config.max_cycles");
+  c.collect_trace = r.boolean("config.collect_trace");
+  c.max_trace = static_cast<std::size_t>(r.u64("config.max_trace"));
+  return c;
+}
+
+void put_stats(ByteWriter& w, const sim::SimStats& s) {
+  w.u64(s.cycles);
+  w.u64(s.insts);
+  w.u64(s.nops);
+  w.u64(s.loads);
+  w.u64(s.stores);
+  w.u64(s.branches);
+  w.u64(s.taken);
+  w.u64(s.icache_hits);
+  w.u64(s.icache_misses);
+  w.u64(s.fetch_words);
+  w.u64(s.mac_words);
+  w.u64(s.ctr_ops);
+  w.u64(s.cbc_ops);
+  w.u64(s.blocks_fetched);
+  w.u64(s.mac_verifications);
+  w.u64(s.store_gate_stalls);
+  w.u64(s.queue_empty_cycles);
+  w.u64(s.exec_stall_cycles);
+}
+
+sim::SimStats get_stats(ByteReader& r) {
+  sim::SimStats s;
+  s.cycles = r.u64("result.stats.cycles");
+  s.insts = r.u64("result.stats.insts");
+  s.nops = r.u64("result.stats.nops");
+  s.loads = r.u64("result.stats.loads");
+  s.stores = r.u64("result.stats.stores");
+  s.branches = r.u64("result.stats.branches");
+  s.taken = r.u64("result.stats.taken");
+  s.icache_hits = r.u64("result.stats.icache_hits");
+  s.icache_misses = r.u64("result.stats.icache_misses");
+  s.fetch_words = r.u64("result.stats.fetch_words");
+  s.mac_words = r.u64("result.stats.mac_words");
+  s.ctr_ops = r.u64("result.stats.ctr_ops");
+  s.cbc_ops = r.u64("result.stats.cbc_ops");
+  s.blocks_fetched = r.u64("result.stats.blocks_fetched");
+  s.mac_verifications = r.u64("result.stats.mac_verifications");
+  s.store_gate_stalls = r.u64("result.stats.store_gate_stalls");
+  s.queue_empty_cycles = r.u64("result.stats.queue_empty_cycles");
+  s.exec_stall_cycles = r.u64("result.stats.exec_stall_cycles");
+  return s;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Frame codec
+// ---------------------------------------------------------------------------
+
+std::vector<std::uint8_t> encode_frame(const Frame& frame) {
+  if (frame.payload.size() > kMaxPayload)
+    wire_fail("frame", "payload of " + std::to_string(frame.payload.size()) +
+                           " bytes exceeds the " + std::to_string(kMaxPayload) +
+                           "-byte limit");
+  ByteWriter w;
+  for (const std::uint8_t m : kMagic) w.u8(m);
+  w.u16(kProtocolVersion);
+  w.u16(static_cast<std::uint16_t>(frame.type));
+  w.u32(static_cast<std::uint32_t>(frame.payload.size()));
+  auto out = w.take();
+  out.insert(out.end(), frame.payload.begin(), frame.payload.end());
+  std::uint32_t sum = 0;
+  for (const std::uint8_t b : frame.payload) sum += b;
+  ByteWriter tail;
+  tail.u32(sum);
+  const auto tail_bytes = tail.take();
+  out.insert(out.end(), tail_bytes.begin(), tail_bytes.end());
+  return out;
+}
+
+namespace {
+
+/// Validate the fixed 12-byte header; returns (type, payload length).
+std::pair<MessageType, std::uint32_t> decode_header(
+    const std::uint8_t* header) {
+  if (std::memcmp(header, kMagic, sizeof kMagic) != 0)
+    wire_fail("frame", "bad magic (not a SOFIA wire frame)");
+  const std::uint16_t version = static_cast<std::uint16_t>(
+      header[4] | (static_cast<std::uint16_t>(header[5]) << 8));
+  if (version != kProtocolVersion)
+    wire_fail("frame", "unsupported protocol version " +
+                           std::to_string(version) + " (expected " +
+                           std::to_string(kProtocolVersion) + ")");
+  const std::uint16_t type = static_cast<std::uint16_t>(
+      header[6] | (static_cast<std::uint16_t>(header[7]) << 8));
+  if (type < static_cast<std::uint16_t>(MessageType::kHelloRequest) ||
+      type > static_cast<std::uint16_t>(MessageType::kErrorReply))
+    wire_fail("frame", "unknown message type " + std::to_string(type));
+  std::uint32_t len = 0;
+  for (int i = 3; i >= 0; --i) len = (len << 8) | header[8 + i];
+  if (len > kMaxPayload)
+    wire_fail("frame", "payload length " + std::to_string(len) +
+                           " exceeds the " + std::to_string(kMaxPayload) +
+                           "-byte limit");
+  return {static_cast<MessageType>(type), len};
+}
+
+std::uint32_t payload_sum(const std::vector<std::uint8_t>& payload) {
+  std::uint32_t sum = 0;
+  for (const std::uint8_t b : payload) sum += b;
+  return sum;
+}
+
+}  // namespace
+
+Frame decode_frame(const std::vector<std::uint8_t>& bytes) {
+  if (bytes.size() < kFrameHeaderSize)
+    wire_fail("frame", "truncated header (" + std::to_string(bytes.size()) +
+                           " of " + std::to_string(kFrameHeaderSize) +
+                           " byte(s))");
+  const auto [type, len] = decode_header(bytes.data());
+  const std::size_t want = kFrameHeaderSize + len + 4;
+  if (bytes.size() < want)
+    wire_fail("frame", "truncated payload (" + std::to_string(bytes.size()) +
+                           " of " + std::to_string(want) + " byte(s))");
+  if (bytes.size() > want)
+    wire_fail("frame", std::to_string(bytes.size() - want) +
+                           " trailing byte(s) after the frame");
+  Frame frame;
+  frame.type = type;
+  frame.payload.assign(bytes.begin() + kFrameHeaderSize,
+                       bytes.begin() + kFrameHeaderSize + len);
+  std::uint32_t stored = 0;
+  for (int i = 3; i >= 0; --i)
+    stored = (stored << 8) | bytes[want - 4 + static_cast<std::size_t>(i)];
+  if (stored != payload_sum(frame.payload))
+    wire_fail("frame", "payload checksum mismatch");
+  return frame;
+}
+
+void write_frame(std::FILE* out, const Frame& frame) {
+  const auto bytes = encode_frame(frame);
+  errno = 0;
+  if (std::fwrite(bytes.data(), 1, bytes.size(), out) != bytes.size() ||
+      std::fflush(out) != 0)
+    wire_fail("frame", std::string("write failed") +
+                           (errno != 0 ? std::string(": ") + std::strerror(errno)
+                                       : std::string()));
+}
+
+bool read_frame(std::FILE* in, Frame& out) {
+  std::uint8_t header[kFrameHeaderSize];
+  const std::size_t got = std::fread(header, 1, sizeof header, in);
+  if (got == 0 && std::feof(in)) return false;  // clean end-of-stream
+  if (got != sizeof header)
+    wire_fail("frame", "stream ended inside the frame header (" +
+                           std::to_string(got) + " of " +
+                           std::to_string(sizeof header) +
+                           " byte(s)) — the peer died mid-frame");
+  const auto [type, len] = decode_header(header);
+  std::vector<std::uint8_t> payload(len);
+  if (len != 0) {
+    const std::size_t n = std::fread(payload.data(), 1, len, in);
+    if (n != len)
+      wire_fail("frame", "stream ended inside the frame payload (" +
+                             std::to_string(n) + " of " + std::to_string(len) +
+                             " byte(s)) — the peer died mid-frame");
+  }
+  std::uint8_t tail[4];
+  if (std::fread(tail, 1, sizeof tail, in) != sizeof tail)
+    wire_fail("frame", "stream ended before the frame checksum");
+  std::uint32_t stored = 0;
+  for (int i = 3; i >= 0; --i) stored = (stored << 8) | tail[i];
+  if (stored != payload_sum(payload))
+    wire_fail("frame", "payload checksum mismatch");
+  out.type = type;
+  out.payload = std::move(payload);
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Message payload codecs
+// ---------------------------------------------------------------------------
+
+std::vector<std::uint8_t> encode_hello_request(const HelloRequest& msg) {
+  ByteWriter w;
+  w.str(msg.backend);
+  return w.take();
+}
+
+HelloRequest decode_hello_request(const std::vector<std::uint8_t>& payload) {
+  ByteReader r(payload, "hello-request");
+  HelloRequest msg;
+  msg.backend = r.str("backend");
+  r.expect_end();
+  return msg;
+}
+
+std::vector<std::uint8_t> encode_hello_reply(const HelloReply& msg) {
+  ByteWriter w;
+  w.str(msg.name);
+  w.str(msg.description);
+  w.u8(msg.caps.cycle_accurate ? 1 : 0);
+  w.u8(msg.caps.models_microarchitecture ? 1 : 0);
+  return w.take();
+}
+
+HelloReply decode_hello_reply(const std::vector<std::uint8_t>& payload) {
+  ByteReader r(payload, "hello-reply");
+  HelloReply msg;
+  msg.name = r.str("name");
+  msg.description = r.str("description");
+  msg.caps.cycle_accurate = r.boolean("caps.cycle_accurate");
+  msg.caps.models_microarchitecture = r.boolean("caps.models_microarchitecture");
+  r.expect_end();
+  return msg;
+}
+
+std::vector<std::uint8_t> encode_run_request(const RunRequest& msg) {
+  return encode_run_request(msg.backend, msg.image, msg.config);
+}
+
+std::vector<std::uint8_t> encode_run_request(std::string_view backend,
+                                             const assembler::LoadImage& image,
+                                             const sim::SimConfig& config) {
+  ByteWriter w;
+  w.str(std::string(backend));
+  w.bytes(assembler::serialize_image(image));
+  put_config(w, config);
+  return w.take();
+}
+
+RunRequest decode_run_request(const std::vector<std::uint8_t>& payload) {
+  ByteReader r(payload, "run-request");
+  RunRequest msg;
+  msg.backend = r.str("backend");
+  const auto image_bytes = r.bytes("image");
+  try {
+    msg.image = assembler::deserialize_image(image_bytes);
+  } catch (const Error& e) {
+    r.fail("image", e.what());
+  }
+  msg.config = get_config(r);
+  r.expect_end();
+  return msg;
+}
+
+std::vector<std::uint8_t> encode_run_reply(const RunReply& msg) {
+  const auto& res = msg.result;
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(res.status));
+  w.i32(res.exit_code);
+  w.u8(static_cast<std::uint8_t>(res.reset.cause));
+  w.u64(res.reset.cycle);
+  w.u32(res.reset.pc);
+  w.str(res.fault);
+  w.str(res.output);
+  put_stats(w, res.stats);
+  w.u32(static_cast<std::uint32_t>(res.trace.size()));
+  for (const auto& t : res.trace) {
+    w.u64(t.cycle);
+    w.u32(t.pc);
+    w.u32(t.word);
+  }
+  return w.take();
+}
+
+RunReply decode_run_reply(const std::vector<std::uint8_t>& payload) {
+  ByteReader r(payload, "run-reply");
+  RunReply msg;
+  auto& res = msg.result;
+  const std::uint8_t status = r.u8("result.status");
+  if (status > static_cast<std::uint8_t>(sim::RunResult::Status::kMaxCycles))
+    r.fail("result.status", "unknown status " + std::to_string(status));
+  res.status = static_cast<sim::RunResult::Status>(status);
+  res.exit_code = r.i32("result.exit_code");
+  const std::uint8_t cause = r.u8("result.reset.cause");
+  if (cause > static_cast<std::uint8_t>(sim::ResetCause::kIllegalInstruction))
+    r.fail("result.reset.cause", "unknown reset cause " + std::to_string(cause));
+  res.reset.cause = static_cast<sim::ResetCause>(cause);
+  res.reset.cycle = r.u64("result.reset.cycle");
+  res.reset.pc = r.u32("result.reset.pc");
+  res.fault = r.str("result.fault");
+  res.output = r.str("result.output");
+  res.stats = get_stats(r);
+  const std::uint32_t n = r.count("result.trace", 16);
+  res.trace.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    sim::TraceEntry t;
+    t.cycle = r.u64("result.trace.cycle");
+    t.pc = r.u32("result.trace.pc");
+    t.word = r.u32("result.trace.word");
+    res.trace.push_back(t);
+  }
+  r.expect_end();
+  return msg;
+}
+
+std::vector<std::uint8_t> encode_error_reply(const ErrorReply& msg) {
+  ByteWriter w;
+  w.str(msg.message);
+  return w.take();
+}
+
+ErrorReply decode_error_reply(const std::vector<std::uint8_t>& payload) {
+  ByteReader r(payload, "error-reply");
+  ErrorReply msg;
+  msg.message = r.str("message");
+  r.expect_end();
+  return msg;
+}
+
+}  // namespace sofia::remote

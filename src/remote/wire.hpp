@@ -1,0 +1,119 @@
+// The remote-execution wire protocol: a versioned, deterministic binary
+// framing for shipping (LoadImage, SimConfig, backend name) run requests to
+// a worker process and RunResult replies back. Everything is little-endian
+// with fixed field order, so the same request bytes are produced on every
+// host — the coordinator can cache and replay them.
+//
+// Frame layout:
+//   magic "SFRM" | u16 protocol version | u16 message type |
+//   u32 payload length | payload bytes | u32 checksum (byte sum of payload)
+//
+// Malformed input never produces a zeroed result or a hang: every decoder
+// throws sofia::Error naming the offending field ("remote-wire:
+// run-request: truncated reading field 'config.max_cycles'"), truncated
+// streams report how many bytes arrived, and payload lengths are bounded
+// by kMaxPayload before any allocation happens.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "assembler/image.hpp"
+#include "sim/backend.hpp"
+#include "sim/config.hpp"
+
+namespace sofia::remote {
+
+inline constexpr std::uint16_t kProtocolVersion = 1;
+
+/// Upper bound on a frame payload (64 MiB): far larger than any real image
+/// or result, small enough that a corrupt length field cannot drive a
+/// multi-gigabyte allocation.
+inline constexpr std::uint32_t kMaxPayload = 64u * 1024 * 1024;
+
+/// Frame header size in bytes (magic + version + type + payload length).
+inline constexpr std::size_t kFrameHeaderSize = 12;
+
+enum class MessageType : std::uint16_t {
+  kHelloRequest = 1,  ///< ask a worker to describe a backend
+  kHelloReply = 2,
+  kRunRequest = 3,  ///< execute (image, config) on a named backend
+  kRunReply = 4,
+  kErrorReply = 5,  ///< any worker-side failure, carrying the message
+};
+
+struct Frame {
+  MessageType type = MessageType::kErrorReply;
+  std::vector<std::uint8_t> payload;
+};
+
+// ---- messages -------------------------------------------------------------
+
+struct HelloRequest {
+  std::string backend;  ///< registry key to describe
+};
+
+struct HelloReply {
+  std::string name;
+  std::string description;
+  sim::BackendCapabilities caps;
+};
+
+struct RunRequest {
+  std::string backend;  ///< far-side registry key to execute on
+  assembler::LoadImage image;
+  sim::SimConfig config;
+};
+
+struct RunReply {
+  sim::RunResult result;
+};
+
+struct ErrorReply {
+  std::string message;
+};
+
+// ---- frame codec ----------------------------------------------------------
+
+/// Serialize a frame (header + payload + checksum).
+std::vector<std::uint8_t> encode_frame(const Frame& frame);
+
+/// Parse exactly one whole frame from a byte buffer; throws sofia::Error on
+/// bad magic, unsupported version, oversized/truncated payload, checksum
+/// mismatch or trailing bytes.
+Frame decode_frame(const std::vector<std::uint8_t>& bytes);
+
+/// Write a frame to a stdio stream and flush; throws sofia::Error when the
+/// stream reports failure (closed pipe, full disk).
+void write_frame(std::FILE* out, const Frame& frame);
+
+/// Read one frame from a stdio stream. Returns false on clean end-of-stream
+/// (no bytes before EOF); throws sofia::Error on a partial header/payload
+/// ("the worker died mid-reply") or any malformed header field.
+bool read_frame(std::FILE* in, Frame& out);
+
+// ---- payload codecs -------------------------------------------------------
+
+std::vector<std::uint8_t> encode_hello_request(const HelloRequest& msg);
+HelloRequest decode_hello_request(const std::vector<std::uint8_t>& payload);
+
+std::vector<std::uint8_t> encode_hello_reply(const HelloReply& msg);
+HelloReply decode_hello_reply(const std::vector<std::uint8_t>& payload);
+
+std::vector<std::uint8_t> encode_run_request(const RunRequest& msg);
+/// Reference form for the hot path — encodes straight from the caller's
+/// image/config without assembling a RunRequest copy first.
+std::vector<std::uint8_t> encode_run_request(std::string_view backend,
+                                             const assembler::LoadImage& image,
+                                             const sim::SimConfig& config);
+RunRequest decode_run_request(const std::vector<std::uint8_t>& payload);
+
+std::vector<std::uint8_t> encode_run_reply(const RunReply& msg);
+RunReply decode_run_reply(const std::vector<std::uint8_t>& payload);
+
+std::vector<std::uint8_t> encode_error_reply(const ErrorReply& msg);
+ErrorReply decode_error_reply(const std::vector<std::uint8_t>& payload);
+
+}  // namespace sofia::remote

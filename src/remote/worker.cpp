@@ -1,0 +1,114 @@
+#include "remote/worker.hpp"
+
+#include <cstdlib>
+#include <string>
+
+#include "remote/spec.hpp"
+#include "remote/wire.hpp"
+#include "support/error.hpp"
+
+namespace sofia::remote {
+
+namespace {
+
+/// Resolve a request's backend against the *local* registry. "remote" is
+/// refused outright — a worker forwarding to another worker is a loop, not
+/// a topology.
+std::unique_ptr<sim::Backend> local_backend(const std::string& name) {
+  if (name == "remote")
+    throw Error("refusing to serve backend 'remote' (a worker cannot recurse "
+                "into another worker)");
+  return sim::make_backend(name);
+}
+
+Frame handle(const Frame& request) {
+  switch (request.type) {
+    case MessageType::kHelloRequest: {
+      const auto hello = decode_hello_request(request.payload);
+      const auto backend = local_backend(hello.backend);
+      HelloReply reply;
+      reply.name = std::string(backend->name());
+      reply.description = std::string(backend->describe());
+      reply.caps = backend->capabilities();
+      return {MessageType::kHelloReply, encode_hello_reply(reply)};
+    }
+    case MessageType::kRunRequest: {
+      const auto run = decode_run_request(request.payload);
+      const auto backend = local_backend(run.backend);
+      RunReply reply;
+      reply.result = backend->run(run.image, run.config);
+      return {MessageType::kRunReply, encode_run_reply(reply)};
+    }
+    default:
+      throw Error("unexpected message type " +
+                  std::to_string(static_cast<unsigned>(request.type)) +
+                  " (workers only accept hello and run requests)");
+  }
+}
+
+}  // namespace
+
+int serve(std::FILE* in, std::FILE* out) {
+  Frame request;
+  for (;;) {
+    try {
+      if (!read_frame(in, request)) return 0;  // clean EOF: coordinator done
+    } catch (const std::exception& e) {
+      // The request stream is corrupt; frame boundaries are lost, so a
+      // resync is impossible. Report and stop.
+      try {
+        write_frame(out, {MessageType::kErrorReply,
+                          encode_error_reply({e.what()})});
+      } catch (...) {
+      }
+      return 1;
+    }
+    Frame reply;
+    try {
+      reply = handle(request);
+    } catch (const std::exception& e) {
+      reply = {MessageType::kErrorReply, encode_error_reply({e.what()})};
+    }
+    // Encode before touching the stream: an unencodable reply (e.g. a
+    // >kMaxPayload trace) throws here with zero bytes written, so an
+    // ErrorReply naming the limit is still protocol-safe. Once writing has
+    // started, a failure may leave a partial frame on the stream — any
+    // recovery frame appended after it would decode as garbage, so the
+    // only honest move is to stop.
+    std::vector<std::uint8_t> encoded;
+    try {
+      encoded = encode_frame(reply);
+    } catch (const std::exception& e) {
+      try {
+        write_frame(out, {MessageType::kErrorReply,
+                          encode_error_reply({e.what()})});
+        continue;
+      } catch (...) {
+        return 1;
+      }
+    }
+    if (std::fwrite(encoded.data(), 1, encoded.size(), out) !=
+            encoded.size() ||
+        std::fflush(out) != 0)
+      return 1;  // coordinator hung up or the stream is wedged
+  }
+}
+
+RemoteSpec RemoteSpec::from_environment() {
+  RemoteSpec spec;
+  if (const char* command = std::getenv(kWorkerEnv)) spec.command = command;
+  if (const char* backend = std::getenv(kWorkerBackendEnv))
+    spec.backend = backend;
+  return spec;
+}
+
+RemoteSpec RemoteSpec::resolved() const {
+  RemoteSpec spec = *this;
+  const RemoteSpec env = from_environment();
+  if (spec.command.empty()) spec.command = env.command;
+  if (spec.backend.empty()) spec.backend = env.backend;
+  if (spec.backend.empty()) spec.backend = "cycle";
+  return spec;
+}
+
+}  // namespace sofia::remote

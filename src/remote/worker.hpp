@@ -1,0 +1,19 @@
+// The worker side of the remote-execution protocol: a request→execute→reply
+// loop over stdio streams. tools/sofia_worker is a thin main() around
+// serve(); keeping the loop in the library lets tests drive it over pipe
+// pairs without spawning a binary.
+#pragma once
+
+#include <cstdio>
+
+namespace sofia::remote {
+
+/// Serve frames from `in` until end-of-stream: hello requests describe a
+/// local backend, run requests execute (image, config) on one. Every
+/// worker-side failure — unknown or recursive backend, malformed payload,
+/// simulator error — is answered with an ErrorReply naming the problem; the
+/// loop only stops on EOF (returns 0) or an unrecoverable stream error
+/// (returns 1, after attempting a final ErrorReply).
+int serve(std::FILE* in, std::FILE* out);
+
+}  // namespace sofia::remote

@@ -13,11 +13,16 @@
 //                   magnitude faster; stats.cycles counts retired
 //                   instructions. For sweep prefiltering and integrity
 //                   testing, never for overhead numbers.
+//  * "remote"     — ships each run over a versioned wire protocol to a
+//                   sofia_worker process (local subprocess, ssh hop or
+//                   container) and returns the far side's result; the
+//                   numbers mean whatever the far-side backend's mean
+//                   (capabilities() is forwarded).
 //
 // Consumers never construct a simulator directly: they name a backend
 // (DeviceProfile::backend routes pipeline::Pipeline here) and the
 // registry hands back the implementation, so an alternative backend
-// (e.g. remote execution) is a drop-in.
+// is a drop-in.
 #pragma once
 
 #include <memory>
@@ -27,6 +32,10 @@
 
 #include "assembler/image.hpp"
 #include "sim/config.hpp"
+
+namespace sofia::remote {
+struct RemoteSpec;
+}
 
 namespace sofia::sim {
 
@@ -93,5 +102,11 @@ bool is_backend(std::string_view name);
 /// Construct a backend by registry key; throws sofia::Error listing the
 /// registered names for anything unknown.
 std::unique_ptr<Backend> make_backend(std::string_view name);
+
+/// Same, but "remote" is built around the given endpoint spec instead of
+/// the environment — the overload Pipeline uses to route
+/// DeviceProfile.remote, so no consumer ever name-checks "remote" itself.
+std::unique_ptr<Backend> make_backend(std::string_view name,
+                                      const remote::RemoteSpec& remote_spec);
 
 }  // namespace sofia::sim

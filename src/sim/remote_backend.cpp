@@ -1,0 +1,74 @@
+#include "sim/remote_backend.hpp"
+
+#include "remote/transport.hpp"
+#include "remote/wire.hpp"
+#include "support/error.hpp"
+
+namespace sofia::sim {
+
+RemoteBackend::RemoteBackend() : RemoteBackend(remote::RemoteSpec{}) {}
+
+RemoteBackend::RemoteBackend(remote::RemoteSpec spec)
+    : spec_(spec.resolved()) {}
+
+RemoteBackend::~RemoteBackend() = default;
+
+remote::WorkerProcess& RemoteBackend::worker() const {
+  if (!spec_.configured())
+    throw Error(
+        "remote backend: no worker configured — set DeviceProfile.remote "
+        "(worker command + far-side backend) or the SOFIA_WORKER environment "
+        "variable");
+  if (spec_.backend == "remote")
+    throw Error("remote backend: far-side backend must be a local one "
+                "(\"remote\" would recurse)");
+  if (!worker_)
+    worker_ = std::make_unique<remote::WorkerProcess>(spec_.command);
+  return *worker_;
+}
+
+remote::Frame RemoteBackend::exchange(const remote::Frame& request) const {
+  auto& w = worker();
+  try {
+    w.send(request);
+    return w.receive();
+  } catch (...) {
+    // Transport state is unknown (half-written request, partial reply);
+    // drop the process so the next call starts from a clean pipe pair.
+    worker_.reset();
+    throw;
+  }
+}
+
+BackendCapabilities RemoteBackend::capabilities() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (caps_) return *caps_;
+  const auto reply = exchange(
+      {remote::MessageType::kHelloRequest,
+       remote::encode_hello_request({spec_.backend})});
+  if (reply.type == remote::MessageType::kErrorReply)
+    throw Error("remote backend: worker '" + spec_.command + "' reported: " +
+                remote::decode_error_reply(reply.payload).message);
+  if (reply.type != remote::MessageType::kHelloReply)
+    throw Error("remote backend: worker '" + spec_.command +
+                "' sent an unexpected reply to the hello request");
+  caps_ = remote::decode_hello_reply(reply.payload).caps;
+  return *caps_;
+}
+
+RunResult RemoteBackend::run(const assembler::LoadImage& image,
+                             const SimConfig& config) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto reply = exchange(
+      {remote::MessageType::kRunRequest,
+       remote::encode_run_request(spec_.backend, image, config)});
+  if (reply.type == remote::MessageType::kErrorReply)
+    throw Error("remote backend: worker '" + spec_.command + "' reported: " +
+                remote::decode_error_reply(reply.payload).message);
+  if (reply.type != remote::MessageType::kRunReply)
+    throw Error("remote backend: worker '" + spec_.command +
+                "' sent an unexpected reply to the run request");
+  return remote::decode_run_reply(reply.payload).result;
+}
+
+}  // namespace sofia::sim

@@ -8,8 +8,11 @@ namespace sofia::cli {
 
 bool parse_number(std::string_view text, std::uint64_t& out) {
   if (text.empty()) return false;
-  // strtoull silently wraps negative input; reject signs outright.
-  if (text[0] == '-' || text[0] == '+') return false;
+  // strtoull skips leading whitespace and accepts signs, so a bare sign
+  // check lets " -5" through and wraps it to 18446744073709551611. Insist
+  // the very first character is a digit: that rejects whitespace, embedded
+  // signs and " 0x10" in one rule while keeping "0x10" (leading '0') legal.
+  if (text[0] < '0' || text[0] > '9') return false;
   errno = 0;
   char* end = nullptr;
   const std::string s(text);

@@ -1,0 +1,72 @@
+#include "support/io.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iterator>
+
+#include "support/error.hpp"
+
+namespace sofia::io {
+
+namespace {
+
+/// " : <strerror>" when errno carries a story, "" otherwise — ofstream does
+/// not set errno on every failure path, so the suffix is best-effort.
+std::string errno_suffix() {
+  if (errno == 0) return {};
+  return std::string(": ") + std::strerror(errno);
+}
+
+template <typename Container>
+Container read_whole(const std::string& path) {
+  errno = 0;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error("cannot read '" + path + "'" + errno_suffix());
+  Container content{std::istreambuf_iterator<char>(in),
+                    std::istreambuf_iterator<char>()};
+  if (in.bad()) throw Error("read error on '" + path + "'" + errno_suffix());
+  return content;
+}
+
+}  // namespace
+
+std::string read_file(const std::string& path) {
+  return read_whole<std::string>(path);
+}
+
+std::vector<std::uint8_t> read_file_bytes(const std::string& path) {
+  return read_whole<std::vector<std::uint8_t>>(path);
+}
+
+void write_file(const std::string& path, std::string_view content) {
+  errno = 0;
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw Error("cannot write '" + path + "'" + errno_suffix());
+  out.write(content.data(),
+            static_cast<std::streamsize>(content.size()));
+  // A full disk or a closed pipe may only surface at flush time; good()
+  // after an explicit flush is the earliest reliable verdict.
+  out.flush();
+  if (!out.good())
+    throw Error("write to '" + path + "' failed" + errno_suffix());
+}
+
+void write_file(const std::string& path,
+                const std::vector<std::uint8_t>& bytes) {
+  if (bytes.empty()) return write_file(path, std::string_view{});
+  write_file(path, std::string_view(reinterpret_cast<const char*>(bytes.data()),
+                                    bytes.size()));
+}
+
+void emit_document(const std::string& path, std::string_view content) {
+  if (path != "-") return write_file(path, content);
+  errno = 0;
+  if (std::fwrite(content.data(), 1, content.size(), stdout) !=
+          content.size() ||
+      std::fflush(stdout) != 0)
+    throw Error("cannot write the document to stdout" + errno_suffix());
+}
+
+}  // namespace sofia::io

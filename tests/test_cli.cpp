@@ -171,5 +171,41 @@ TEST(Cli, ParseNumberIsStrict) {
   EXPECT_FALSE(parse_number("abc", v));
 }
 
+TEST(Cli, ParseNumberRejectsAnythingBeforeTheFirstDigit) {
+  // Regression: strtoull skips leading whitespace, so " -5" used to pass
+  // the old text[0] == '-' sign check and wrap to 18446744073709551611.
+  std::uint64_t v = 77;
+  EXPECT_FALSE(parse_number(" -5", v));
+  EXPECT_FALSE(parse_number("\t-5", v));
+  EXPECT_FALSE(parse_number("-5", v));
+  EXPECT_FALSE(parse_number("+5", v));
+  EXPECT_FALSE(parse_number(" +5", v));
+  EXPECT_FALSE(parse_number(" 5", v));
+  EXPECT_FALSE(parse_number(" 0x10", v));
+  EXPECT_EQ(v, 77u);  // out is untouched on every rejection
+  EXPECT_TRUE(parse_number("0x10", v));
+  EXPECT_EQ(v, 16u);
+}
+
+TEST(Cli, NumericFlagsOfEveryKindRejectWhitespaceNegatives) {
+  // The user-visible shape of the same regression: --threads " -5" must be
+  // a usage error on both unsigned widths, never a 2^64-ish thread count.
+  std::uint32_t threads = 1;
+  std::uint64_t seed = 1;
+  Parser p("tool");
+  p.option("--threads", threads, "N", "").option("--seed", seed, "n", "");
+  for (const char* bad : {" -5", "-5", "+5", " 5", " 0x10"}) {
+    const auto r32 = parse(p, {"--threads", bad});
+    EXPECT_EQ(r32.status, Parser::Result::Status::kError) << "'" << bad << "'";
+    EXPECT_NE(r32.message.find(bad), std::string::npos) << r32.message;
+    const auto r64 = parse(p, {"--seed", bad});
+    EXPECT_EQ(r64.status, Parser::Result::Status::kError) << "'" << bad << "'";
+  }
+  // The equals syntax goes through the same path.
+  EXPECT_EQ(parse(p, {"--threads= -5"}).status, Parser::Result::Status::kError);
+  EXPECT_EQ(threads, 1u);
+  EXPECT_EQ(seed, 1u);
+}
+
 }  // namespace
 }  // namespace sofia::cli

@@ -1,0 +1,560 @@
+// The remote-execution subsystem (src/remote/ + sim::RemoteBackend):
+//  * wire-format round trips and the negative space — truncated frames,
+//    wrong protocol version, oversized lengths, corrupt checksums and
+//    payloads must all surface as sofia::Error naming the offending field,
+//    never a hang or a zeroed RunResult;
+//  * the worker serve loop, driven in-process over pipe pairs;
+//  * the transport against dying/garbage-spewing workers;
+//  * (with the sofia_worker binary) a differential suite asserting
+//    remote(cycle) ≡ cycle and remote(functional) ≡ functional across the
+//    workload registry.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "pipeline/pipeline.hpp"
+#include "remote/spec.hpp"
+#include "remote/transport.hpp"
+#include "remote/wire.hpp"
+#include "remote/worker.hpp"
+#include "sim/remote_backend.hpp"
+#include "support/error.hpp"
+#include "workloads/workloads.hpp"
+
+namespace sofia::remote {
+namespace {
+
+const char* kSource = R"(
+main:
+  li r1, 5
+  li r2, 0
+loop:
+  add r2, r2, r1
+  addi r1, r1, -1
+  bnez r1, loop
+  li r10, 0xFFFF0008
+  sw r2, 0(r10)
+  halt
+)";
+
+/// A fully-populated request: non-default config knobs everywhere a field
+/// could silently fall off the wire.
+RunRequest sample_request() {
+  auto p = pipeline::Pipeline::from_source(kSource);
+  RunRequest req;
+  req.backend = "functional";
+  req.image = p.image();
+  req.config = p.effective_sim_config();
+  req.config.fetch_queue = 9;
+  req.config.icache.size_bytes = 2048;
+  req.config.cipher.pipelined = false;
+  req.config.fault.enabled = true;
+  req.config.fault.fetch_index = 1234567890123ull;
+  req.config.fault.bit = 17;
+  req.config.max_cycles = 987654321;
+  req.config.collect_trace = true;
+  req.config.max_trace = 4242;
+  return req;
+}
+
+void expect_error_mentions(const std::function<void()>& f,
+                           const std::string& needle) {
+  try {
+    f();
+    FAIL() << "expected sofia::Error mentioning '" << needle << "'";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << e.what();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Wire format: round trips
+// ---------------------------------------------------------------------------
+
+TEST(RemoteWire, RunRequestRoundTrips) {
+  const RunRequest req = sample_request();
+  const auto decoded = decode_run_request(encode_run_request(req));
+  EXPECT_EQ(decoded.backend, req.backend);
+  EXPECT_EQ(decoded.image.text, req.image.text);
+  EXPECT_EQ(decoded.image.data, req.image.data);
+  EXPECT_EQ(decoded.image.entry, req.image.entry);
+  EXPECT_EQ(decoded.image.omega, req.image.omega);
+  EXPECT_EQ(decoded.image.sofia, req.image.sofia);
+  EXPECT_EQ(decoded.image.per_pair, req.image.per_pair);
+  const auto& c = decoded.config;
+  const auto& e = req.config;
+  EXPECT_EQ(c.fetch_queue, e.fetch_queue);
+  EXPECT_EQ(c.icache.size_bytes, e.icache.size_bytes);
+  EXPECT_EQ(c.keys.kind, e.keys.kind);
+  EXPECT_EQ(c.keys.k1, e.keys.k1);
+  EXPECT_EQ(c.keys.k2, e.keys.k2);
+  EXPECT_EQ(c.keys.k3, e.keys.k3);
+  EXPECT_EQ(c.keys.omega, e.keys.omega);
+  EXPECT_EQ(c.policy.words_per_block, e.policy.words_per_block);
+  EXPECT_EQ(c.cipher.pipelined, e.cipher.pipelined);
+  EXPECT_EQ(c.fault.enabled, e.fault.enabled);
+  EXPECT_EQ(c.fault.fetch_index, e.fault.fetch_index);
+  EXPECT_EQ(c.fault.bit, e.fault.bit);
+  EXPECT_EQ(c.max_cycles, e.max_cycles);
+  EXPECT_EQ(c.collect_trace, e.collect_trace);
+  EXPECT_EQ(c.max_trace, e.max_trace);
+}
+
+TEST(RemoteWire, RunReplyRoundTripsIncludingTrace) {
+  RunReply reply;
+  reply.result.status = sim::RunResult::Status::kReset;
+  reply.result.exit_code = -7;
+  reply.result.reset.cause = sim::ResetCause::kMacMismatch;
+  reply.result.reset.cycle = 123456789012345ull;
+  reply.result.reset.pc = 0xDEADBEE0u;
+  reply.result.fault = "no fault";
+  reply.result.output = "hello\nworld";
+  reply.result.stats.cycles = 42;
+  reply.result.stats.insts = 41;
+  reply.result.stats.exec_stall_cycles = 9;
+  reply.result.trace = {{1, 0x10, 0xAABBCCDD}, {2, 0x14, 0x11223344}};
+  const auto decoded = decode_run_reply(encode_run_reply(reply));
+  EXPECT_EQ(decoded.result.status, reply.result.status);
+  EXPECT_EQ(decoded.result.exit_code, reply.result.exit_code);
+  EXPECT_EQ(decoded.result.reset.cause, reply.result.reset.cause);
+  EXPECT_EQ(decoded.result.reset.cycle, reply.result.reset.cycle);
+  EXPECT_EQ(decoded.result.reset.pc, reply.result.reset.pc);
+  EXPECT_EQ(decoded.result.fault, reply.result.fault);
+  EXPECT_EQ(decoded.result.output, reply.result.output);
+  EXPECT_EQ(decoded.result.stats.cycles, reply.result.stats.cycles);
+  EXPECT_EQ(decoded.result.stats.exec_stall_cycles,
+            reply.result.stats.exec_stall_cycles);
+  ASSERT_EQ(decoded.result.trace.size(), reply.result.trace.size());
+  EXPECT_EQ(decoded.result.trace[1].word, reply.result.trace[1].word);
+}
+
+TEST(RemoteWire, HelloAndErrorRoundTrip) {
+  HelloReply hello{"functional", "fast architectural", {false, false}};
+  const auto h = decode_hello_reply(encode_hello_reply(hello));
+  EXPECT_EQ(h.name, "functional");
+  EXPECT_FALSE(h.caps.cycle_accurate);
+  const auto req = decode_hello_request(encode_hello_request({"cycle"}));
+  EXPECT_EQ(req.backend, "cycle");
+  const auto err = decode_error_reply(encode_error_reply({"boom"}));
+  EXPECT_EQ(err.message, "boom");
+}
+
+TEST(RemoteWire, FrameRoundTrips) {
+  const Frame frame{MessageType::kRunRequest,
+                    encode_run_request(sample_request())};
+  const auto decoded = decode_frame(encode_frame(frame));
+  EXPECT_EQ(decoded.type, frame.type);
+  EXPECT_EQ(decoded.payload, frame.payload);
+}
+
+// ---------------------------------------------------------------------------
+// Wire format: the negative space
+// ---------------------------------------------------------------------------
+
+TEST(RemoteWire, EveryTruncationOfAFrameThrows) {
+  // Chop a real frame at every possible byte boundary: each prefix must be
+  // rejected with an Error — never accepted, never a crash.
+  const auto bytes = encode_frame(
+      {MessageType::kRunRequest, encode_run_request(sample_request())});
+  for (std::size_t n = 0; n < bytes.size(); ++n) {
+    const std::vector<std::uint8_t> prefix(bytes.begin(),
+                                           bytes.begin() + static_cast<std::ptrdiff_t>(n));
+    EXPECT_THROW(decode_frame(prefix), Error) << "prefix length " << n;
+  }
+}
+
+TEST(RemoteWire, EveryTruncationOfARunReplyPayloadThrows) {
+  RunReply reply;
+  reply.result.output = "abc";
+  reply.result.trace = {{1, 4, 5}};
+  const auto payload = encode_run_reply(reply);
+  for (std::size_t n = 0; n < payload.size(); ++n) {
+    const std::vector<std::uint8_t> prefix(payload.begin(),
+                                           payload.begin() + static_cast<std::ptrdiff_t>(n));
+    EXPECT_THROW(decode_run_reply(prefix), Error) << "prefix length " << n;
+  }
+}
+
+TEST(RemoteWire, WrongProtocolVersionNamesBothVersions) {
+  auto bytes = encode_frame({MessageType::kHelloRequest,
+                             encode_hello_request({"cycle"})});
+  bytes[4] = 0x07;  // protocol version low byte
+  expect_error_mentions([&] { decode_frame(bytes); }, "version 7");
+}
+
+TEST(RemoteWire, BadMagicRejected) {
+  auto bytes = encode_frame({MessageType::kHelloRequest,
+                             encode_hello_request({"cycle"})});
+  bytes[0] = 'X';
+  expect_error_mentions([&] { decode_frame(bytes); }, "magic");
+}
+
+TEST(RemoteWire, OversizedPayloadLengthRejectedBeforeAllocation) {
+  auto bytes = encode_frame({MessageType::kHelloRequest,
+                             encode_hello_request({"cycle"})});
+  // Claim a ~4 GiB payload; the header check must trip on kMaxPayload.
+  bytes[8] = bytes[9] = bytes[10] = bytes[11] = 0xFF;
+  expect_error_mentions([&] { decode_frame(bytes); }, "limit");
+}
+
+TEST(RemoteWire, CorruptChecksumRejected) {
+  auto bytes = encode_frame({MessageType::kHelloRequest,
+                             encode_hello_request({"cycle"})});
+  bytes[kFrameHeaderSize] ^= 0x01;  // first payload byte; stored sum now stale
+  expect_error_mentions([&] { decode_frame(bytes); }, "checksum");
+}
+
+TEST(RemoteWire, CorruptStringLengthNamesTheField) {
+  auto payload = encode_hello_request({"cycle"});
+  payload[0] = 0xFF;  // backend-string length low byte -> way past the end
+  expect_error_mentions([&] { decode_hello_request(payload); }, "backend");
+}
+
+TEST(RemoteWire, OversizedTraceCountNamesTheField) {
+  auto payload = encode_run_reply({});
+  // The trace count is the last 4 bytes of an empty reply; claim 2^32-1
+  // entries with zero bytes behind them.
+  std::fill(payload.end() - 4, payload.end(), 0xFF);
+  expect_error_mentions([&] { decode_run_reply(payload); }, "result.trace");
+}
+
+TEST(RemoteWire, TrailingBytesRejectedAtBothLayers) {
+  auto payload = encode_hello_request({"cycle"});
+  payload.push_back(0);
+  expect_error_mentions([&] { decode_hello_request(payload); }, "trailing");
+  auto frame_bytes = encode_frame({MessageType::kHelloRequest,
+                                   encode_hello_request({"cycle"})});
+  frame_bytes.push_back(0);
+  expect_error_mentions([&] { decode_frame(frame_bytes); }, "trailing");
+}
+
+TEST(RemoteWire, EncodeFrameRejectsOversizedPayloadBeforeWriting) {
+  // The encode side enforces the same cap as the decode side, so a worker
+  // producing a monster reply (a >64 MiB trace) throws before any byte
+  // reaches the stream — serve() can still answer with an ErrorReply
+  // naming the limit instead of corrupting the frame stream.
+  Frame frame;
+  frame.type = MessageType::kRunReply;
+  frame.payload.resize(static_cast<std::size_t>(kMaxPayload) + 1);
+  expect_error_mentions([&] { (void)encode_frame(frame); }, "limit");
+}
+
+TEST(RemoteWire, UnknownMessageTypeRejected) {
+  auto bytes = encode_frame({MessageType::kHelloRequest,
+                             encode_hello_request({"cycle"})});
+  bytes[6] = 0x63;  // message type low byte = 99
+  expect_error_mentions([&] { decode_frame(bytes); }, "type");
+}
+
+// ---------------------------------------------------------------------------
+// The worker serve loop, in-process over pipe pairs
+// ---------------------------------------------------------------------------
+
+/// serve() running on a std::thread with both directions on raw pipes —
+/// the worker side exactly as sofia_worker runs it, minus the subprocess.
+class LocalServeLoop {
+ public:
+  LocalServeLoop() {
+    int to_worker[2];
+    int from_worker[2];
+    EXPECT_EQ(pipe(to_worker), 0);
+    EXPECT_EQ(pipe(from_worker), 0);
+    request_w_ = fdopen(to_worker[1], "wb");
+    reply_r_ = fdopen(from_worker[0], "rb");
+    std::FILE* request_r = fdopen(to_worker[0], "rb");
+    std::FILE* reply_w = fdopen(from_worker[1], "wb");
+    thread_ = std::thread([request_r, reply_w] {
+      serve(request_r, reply_w);
+      std::fclose(request_r);
+      std::fclose(reply_w);
+    });
+  }
+
+  ~LocalServeLoop() {
+    std::fclose(request_w_);  // EOF: the serve loop returns
+    thread_.join();
+    std::fclose(reply_r_);
+  }
+
+  Frame exchange(const Frame& request) {
+    write_frame(request_w_, request);
+    Frame reply;
+    EXPECT_TRUE(read_frame(reply_r_, reply));
+    return reply;
+  }
+
+ private:
+  std::FILE* request_w_ = nullptr;
+  std::FILE* reply_r_ = nullptr;
+  std::thread thread_;
+};
+
+TEST(RemoteWorker, ServeDescribesLocalBackends) {
+  LocalServeLoop worker;
+  auto reply = worker.exchange(
+      {MessageType::kHelloRequest, encode_hello_request({"cycle"})});
+  ASSERT_EQ(reply.type, MessageType::kHelloReply);
+  auto hello = decode_hello_reply(reply.payload);
+  EXPECT_EQ(hello.name, "cycle");
+  EXPECT_TRUE(hello.caps.cycle_accurate);
+
+  reply = worker.exchange(
+      {MessageType::kHelloRequest, encode_hello_request({"functional"})});
+  ASSERT_EQ(reply.type, MessageType::kHelloReply);
+  EXPECT_FALSE(decode_hello_reply(reply.payload).caps.cycle_accurate);
+}
+
+TEST(RemoteWorker, ServeExecutesARunRequest) {
+  auto p = pipeline::Pipeline::from_source(kSource);
+  const auto& local = p.run();
+
+  LocalServeLoop worker;
+  RunRequest req;
+  req.backend = "cycle";
+  req.image = p.image();
+  req.config = p.effective_sim_config();
+  const auto reply = worker.exchange(
+      {MessageType::kRunRequest, encode_run_request(req)});
+  ASSERT_EQ(reply.type, MessageType::kRunReply);
+  const auto remote_result = decode_run_reply(reply.payload).result;
+  EXPECT_EQ(remote_result.status, local.status);
+  EXPECT_EQ(remote_result.exit_code, local.exit_code);
+  EXPECT_EQ(remote_result.output, local.output);
+  EXPECT_EQ(remote_result.stats.cycles, local.stats.cycles);
+  EXPECT_EQ(remote_result.stats.insts, local.stats.insts);
+}
+
+TEST(RemoteWorker, ServeRejectsUnknownAndRecursiveBackends) {
+  LocalServeLoop worker;
+  auto reply = worker.exchange(
+      {MessageType::kHelloRequest, encode_hello_request({"warp"})});
+  ASSERT_EQ(reply.type, MessageType::kErrorReply);
+  EXPECT_NE(decode_error_reply(reply.payload).message.find("warp"),
+            std::string::npos);
+
+  reply = worker.exchange(
+      {MessageType::kHelloRequest, encode_hello_request({"remote"})});
+  ASSERT_EQ(reply.type, MessageType::kErrorReply);
+  EXPECT_NE(decode_error_reply(reply.payload).message.find("recurse"),
+            std::string::npos);
+}
+
+TEST(RemoteWorker, ServeAnswersMalformedPayloadWithAFieldNamingError) {
+  LocalServeLoop worker;
+  const auto reply = worker.exchange(
+      {MessageType::kRunRequest, {0xDE, 0xAD}});  // truncated run request
+  ASSERT_EQ(reply.type, MessageType::kErrorReply);
+  const auto message = decode_error_reply(reply.payload).message;
+  EXPECT_NE(message.find("run-request"), std::string::npos) << message;
+  EXPECT_NE(message.find("backend"), std::string::npos) << message;
+}
+
+// ---------------------------------------------------------------------------
+// Transport against misbehaving workers: errors, never hangs
+// ---------------------------------------------------------------------------
+
+TEST(RemoteTransport, WorkerThatExitsImmediatelyIsAnError) {
+  WorkerProcess worker("true");
+  try {
+    worker.send({MessageType::kHelloRequest, encode_hello_request({"cycle"})});
+    (void)worker.receive();
+    FAIL() << "expected sofia::Error";
+  } catch (const Error& e) {
+    // Either the write hit the dead pipe (EPIPE) or the read saw EOF; both
+    // must name the worker command.
+    EXPECT_NE(std::string(e.what()).find("true"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(RemoteTransport, WorkerDyingMidReplyIsATruncationError) {
+  WorkerProcess worker("printf SFRM");  // 4 header bytes, then death
+  expect_error_mentions([&] { (void)worker.receive(); }, "died mid-frame");
+}
+
+TEST(RemoteTransport, GarbageSpewingWorkerIsAMagicError) {
+  WorkerProcess worker("echo garbage-garbage-garbage");
+  expect_error_mentions([&] { (void)worker.receive(); }, "magic");
+}
+
+TEST(RemoteBackendContract, UnconfiguredRemoteBackendExplainsItself) {
+  unsetenv(kWorkerEnv);
+  const sim::RemoteBackend backend{RemoteSpec{}};
+  auto p = pipeline::Pipeline::from_source(kSource);
+  expect_error_mentions(
+      [&] { (void)backend.run(p.image(), p.effective_sim_config()); },
+      "SOFIA_WORKER");
+}
+
+TEST(RemoteBackendContract, RecursiveFarSideBackendRejectedLocally) {
+  const sim::RemoteBackend backend{RemoteSpec{"some-command", "remote"}};
+  auto p = pipeline::Pipeline::from_source(kSource);
+  expect_error_mentions(
+      [&] { (void)backend.run(p.image(), p.effective_sim_config()); },
+      "recurse");
+}
+
+#ifdef SOFIA_WORKER_BIN
+// ---------------------------------------------------------------------------
+// Differential suite against the real sofia_worker binary:
+// remote(cycle) ≡ cycle and remote(functional) ≡ functional
+// ---------------------------------------------------------------------------
+
+pipeline::DeviceProfile remote_profile(
+    const std::string& far_backend,
+    pipeline::DeviceProfile profile = pipeline::DeviceProfile::paper_default()) {
+  profile.backend = "remote";
+  profile.remote =
+      pipeline::DeviceProfile::parse_worker(SOFIA_WORKER_BIN, far_backend);
+  return profile;
+}
+
+void expect_identical_results(const sim::RunResult& local,
+                              const sim::RunResult& viaremote,
+                              const std::string& label) {
+  ASSERT_EQ(local.status, viaremote.status) << label;
+  EXPECT_EQ(local.exit_code, viaremote.exit_code) << label;
+  EXPECT_EQ(local.output, viaremote.output) << label;
+  EXPECT_EQ(local.fault, viaremote.fault) << label;
+  EXPECT_EQ(local.reset.cause, viaremote.reset.cause) << label;
+  EXPECT_EQ(local.reset.pc, viaremote.reset.pc) << label;
+  EXPECT_EQ(local.reset.cycle, viaremote.reset.cycle) << label;
+  // The worker runs the *same* backend, so every number — timing included —
+  // must match, not just the architectural subset.
+  EXPECT_EQ(local.stats.cycles, viaremote.stats.cycles) << label;
+  EXPECT_EQ(local.stats.insts, viaremote.stats.insts) << label;
+  EXPECT_EQ(local.stats.nops, viaremote.stats.nops) << label;
+  EXPECT_EQ(local.stats.loads, viaremote.stats.loads) << label;
+  EXPECT_EQ(local.stats.stores, viaremote.stats.stores) << label;
+  EXPECT_EQ(local.stats.branches, viaremote.stats.branches) << label;
+  EXPECT_EQ(local.stats.taken, viaremote.stats.taken) << label;
+  EXPECT_EQ(local.stats.icache_hits, viaremote.stats.icache_hits) << label;
+  EXPECT_EQ(local.stats.icache_misses, viaremote.stats.icache_misses) << label;
+  EXPECT_EQ(local.stats.mac_verifications, viaremote.stats.mac_verifications)
+      << label;
+  EXPECT_EQ(local.stats.ctr_ops, viaremote.stats.ctr_ops) << label;
+  EXPECT_EQ(local.stats.cbc_ops, viaremote.stats.cbc_ops) << label;
+  EXPECT_EQ(local.stats.store_gate_stalls, viaremote.stats.store_gate_stalls)
+      << label;
+}
+
+TEST(RemoteDifferential, RemoteEqualsLocalOnTheWorkloadMatrix) {
+  // The test_backend workload matrix, shipped through the wire: for every
+  // registered workload, remote(cycle) ≡ cycle and remote(functional) ≡
+  // functional, bit for bit.
+  for (const auto& spec : workloads::all_workloads()) {
+    const std::uint32_t size = std::max(4u, spec.default_size / 16);
+    for (const char* far : {"cycle", "functional"}) {
+      const std::string label = spec.name + " via remote(" + far + ")";
+      auto local_profile = pipeline::DeviceProfile::paper_default();
+      local_profile.backend = far;
+      auto local = pipeline::Pipeline::from_workload(spec, 1, size,
+                                                     local_profile);
+      auto remote = pipeline::Pipeline::from_workload(spec, 1, size,
+                                                      remote_profile(far));
+      expect_identical_results(local.run(), remote.run(), label);
+    }
+  }
+}
+
+TEST(RemoteDifferential, CapabilitiesForwardedFromTheFarSide) {
+  const sim::RemoteBackend cycle_far{remote_profile("cycle").remote};
+  EXPECT_TRUE(cycle_far.capabilities().cycle_accurate);
+  EXPECT_TRUE(cycle_far.capabilities().models_microarchitecture);
+  const sim::RemoteBackend functional_far{remote_profile("functional").remote};
+  EXPECT_FALSE(functional_far.capabilities().cycle_accurate);
+  EXPECT_FALSE(functional_far.capabilities().models_microarchitecture);
+}
+
+TEST(RemoteDifferential, TamperedImageResetsIdenticallyThroughTheWire) {
+  auto builder = pipeline::Pipeline::from_source(kSource);
+  auto tampered = builder.image();
+  tampered.text.at(3) ^= 1u;
+  const auto local = builder.run_image(tampered);
+  auto remote_session =
+      pipeline::Pipeline::from_image(tampered, remote_profile("cycle"));
+  expect_identical_results(local, remote_session.run(), "tampered");
+  EXPECT_EQ(remote_session.run().status, sim::RunResult::Status::kReset);
+  EXPECT_EQ(remote_session.run().reset.cause, sim::ResetCause::kMacMismatch);
+}
+
+TEST(RemoteDifferential, TraceShipsBackThroughTheWire) {
+  auto p = pipeline::Pipeline::from_source(kSource, remote_profile("functional"));
+  sim::SimConfig config;
+  config.collect_trace = true;
+  const auto run = p.run_image(p.image(), config);
+  ASSERT_TRUE(run.ok());
+  ASSERT_FALSE(run.trace.empty());
+  EXPECT_EQ(run.trace.size(), run.stats.insts);
+}
+
+TEST(RemoteDifferential, WorkerRejectsUnknownFarSideBackendByName) {
+  // Bypass parse_worker (which would catch this locally) to prove the
+  // worker's own validation answers with a named error.
+  RemoteSpec spec{SOFIA_WORKER_BIN, "warp"};
+  const sim::RemoteBackend backend{spec};
+  auto p = pipeline::Pipeline::from_source(kSource);
+  expect_error_mentions(
+      [&] { (void)backend.run(p.image(), p.effective_sim_config()); },
+      "warp");
+}
+
+TEST(RemoteDifferential, ExplicitFarBackendSurvivesEnvCommandFallback) {
+  // Regression: a spec with no command but a chosen far-side backend must
+  // take only the *command* from the environment — the explicit backend
+  // choice must not be silently replaced by the env default ("cycle").
+  setenv(kWorkerEnv, SOFIA_WORKER_BIN, 1);
+  unsetenv(kWorkerBackendEnv);
+  const sim::RemoteBackend backend{RemoteSpec{"", "functional"}};
+  EXPECT_EQ(backend.spec().command, SOFIA_WORKER_BIN);
+  EXPECT_EQ(backend.spec().backend, "functional");
+  EXPECT_FALSE(backend.capabilities().cycle_accurate);
+
+  // With nothing explicit, both env variables apply.
+  setenv(kWorkerBackendEnv, "functional", 1);
+  const sim::RemoteBackend env_backend{RemoteSpec{}};
+  EXPECT_EQ(env_backend.spec().backend, "functional");
+
+  // An *explicit* "cycle" is distinguishable from the unset default and is
+  // never overridden by $SOFIA_WORKER_BACKEND.
+  const sim::RemoteBackend explicit_cycle{RemoteSpec{"", "cycle"}};
+  EXPECT_EQ(explicit_cycle.spec().backend, "cycle");
+  EXPECT_TRUE(explicit_cycle.capabilities().cycle_accurate);
+
+  // The profile fingerprint reports the resolved endpoint, not the raw
+  // spec — env-configured runs must not fingerprint alike when they
+  // execute differently.
+  auto profile = pipeline::DeviceProfile::paper_default();
+  profile.backend = "remote";
+  const auto fp = profile.fingerprint();
+  EXPECT_NE(fp.find("remote-backend=functional"), std::string::npos) << fp;
+  EXPECT_NE(fp.find(SOFIA_WORKER_BIN), std::string::npos) << fp;
+
+  unsetenv(kWorkerEnv);
+  unsetenv(kWorkerBackendEnv);
+}
+
+TEST(RemoteDifferential, SequentialRunsReuseOneWorker) {
+  // The worker process persists across run() calls; three runs through one
+  // backend must agree with three fresh local runs.
+  auto local = pipeline::Pipeline::from_source(kSource);
+  auto remote = pipeline::Pipeline::from_source(kSource, remote_profile("cycle"));
+  const auto& l = local.run();
+  for (int i = 0; i < 3; ++i) {
+    const auto r = remote.run_image(remote.image());
+    EXPECT_EQ(r.stats.cycles, l.stats.cycles) << i;
+    EXPECT_EQ(r.output, l.output) << i;
+  }
+}
+#endif  // SOFIA_WORKER_BIN
+
+}  // namespace
+}  // namespace sofia::remote

@@ -1,11 +1,15 @@
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <cstdio>
 #include <limits>
 #include <set>
 
 #include "support/bits.hpp"
 #include "support/error.hpp"
 #include "support/hex.hpp"
+#include "support/io.hpp"
 #include "support/rng.hpp"
 
 namespace sofia {
@@ -157,6 +161,43 @@ TEST(Hex, DumpWords) {
   EXPECT_NE(dump.find("00000100: 00000001 00000002 00000003 00000004"),
             std::string::npos);
   EXPECT_NE(dump.find("00000110: 00000005"), std::string::npos);
+}
+
+TEST(Io, RoundTripsBinaryContentExactly) {
+  const std::string path =
+      "/tmp/sofia_io_test_" + std::to_string(getpid()) + ".bin";
+  // Embedded NUL, CR and LF: a text-mode read would mangle at least one.
+  const std::string content("a\0b\r\nc\r", 7);
+  io::write_file(path, content);
+  EXPECT_EQ(io::read_file(path), content);
+  const auto bytes = io::read_file_bytes(path);
+  ASSERT_EQ(bytes.size(), content.size());
+  EXPECT_EQ(bytes[1], 0u);
+  io::write_file(path, std::vector<std::uint8_t>{0xDE, 0xAD});
+  EXPECT_EQ(io::read_file(path), std::string("\xDE\xAD"));
+  std::remove(path.c_str());
+}
+
+TEST(Io, FailuresNameThePath) {
+  try {
+    io::read_file("/nonexistent/sofia/x.txt");
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("/nonexistent/sofia/x.txt"),
+              std::string::npos)
+        << e.what();
+  }
+  try {
+    io::write_file("/nonexistent/sofia/x.txt", "data");
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("/nonexistent/sofia/x.txt"),
+              std::string::npos)
+        << e.what();
+  }
+  // A full device: the write itself may be accepted into the buffer, but
+  // the post-flush stream check must report failure.
+  EXPECT_THROW(io::write_file("/dev/full", "data"), Error);
 }
 
 }  // namespace

@@ -13,11 +13,12 @@
 
 #if !defined(SOFIA_ASM_BIN) || !defined(SOFIA_RUN_BIN) ||      \
     !defined(SOFIA_OBJDUMP_BIN) || !defined(SOFIA_REPORT_BIN) || \
-    !defined(SOFIA_SWEEP_BIN)
+    !defined(SOFIA_SWEEP_BIN) || !defined(SOFIA_WORKER_BIN) || \
+    !defined(SOFIA_FLEET_BIN)
 #error "SOFIA_ASM_BIN / SOFIA_RUN_BIN / SOFIA_OBJDUMP_BIN / SOFIA_REPORT_BIN \
-/ SOFIA_SWEEP_BIN must be injected by the build: configure with \
--DSOFIA_BUILD_TOOLS=ON so tests/CMakeLists.txt can define them from \
-$<TARGET_FILE:...>"
+/ SOFIA_SWEEP_BIN / SOFIA_WORKER_BIN / SOFIA_FLEET_BIN must be injected by \
+the build: configure with -DSOFIA_BUILD_TOOLS=ON so tests/CMakeLists.txt can \
+define them from $<TARGET_FILE:...>"
 #endif
 
 namespace {
@@ -305,9 +306,10 @@ TEST_F(Tools, UnknownCipherRejected) {
 
 TEST_F(Tools, EveryToolRejectsUnknownFlagsWithUsage) {
   // The shared CLI layer: unknown flag -> diagnostic + usage, exit 2,
-  // uniformly across all five front-ends.
+  // uniformly across all seven front-ends.
   for (const char* tool : {SOFIA_ASM_BIN, SOFIA_RUN_BIN, SOFIA_OBJDUMP_BIN,
-                           SOFIA_REPORT_BIN, SOFIA_SWEEP_BIN}) {
+                           SOFIA_REPORT_BIN, SOFIA_SWEEP_BIN, SOFIA_WORKER_BIN,
+                           SOFIA_FLEET_BIN}) {
     int code = 0;
     const auto out = run_command(std::string(tool) + " --frobnicate", &code);
     EXPECT_EQ(code, 2) << tool << ": " << out;
@@ -319,7 +321,8 @@ TEST_F(Tools, EveryToolRejectsUnknownFlagsWithUsage) {
 
 TEST_F(Tools, EveryToolPrintsHelp) {
   for (const char* tool : {SOFIA_ASM_BIN, SOFIA_RUN_BIN, SOFIA_OBJDUMP_BIN,
-                           SOFIA_REPORT_BIN, SOFIA_SWEEP_BIN}) {
+                           SOFIA_REPORT_BIN, SOFIA_SWEEP_BIN, SOFIA_WORKER_BIN,
+                           SOFIA_FLEET_BIN}) {
     int code = 0;
     const auto out = run_command(std::string(tool) + " --help", &code);
     EXPECT_EQ(code, 0) << tool << ": " << out;
@@ -375,6 +378,108 @@ TEST_F(Tools, SweepRejectsBadShard) {
       std::string(SOFIA_SWEEP_BIN) + " --smoke --quiet --shard 2/2", &code);
   EXPECT_EQ(code, 1) << out;
   EXPECT_NE(out.find("out of range"), std::string::npos) << out;
+}
+
+TEST_F(Tools, SweepJsonDashStreamsTheDocumentToStdout) {
+  // `--json -` must put the document — and nothing else — on stdout, so a
+  // coordinator can collect shards over any stdio transport. Progress moves
+  // to stderr (discarded here so the capture is pure stdout).
+  const std::string tag = std::to_string(getpid());
+  const std::string json = "/tmp/sofia_sweep_" + tag + "_dash.json";
+  int code = 0;
+  const auto file_out = run_command(std::string(SOFIA_SWEEP_BIN) +
+                                        " --smoke --quiet --json " + json,
+                                    &code);
+  ASSERT_EQ(code, 0) << file_out;
+  const auto stdout_doc = run_command(
+      "( " + std::string(SOFIA_SWEEP_BIN) +
+          " --smoke --quiet --json - 2>/dev/null )", &code);
+  EXPECT_EQ(code, 0);
+  std::ifstream in(json, std::ios::binary);
+  const std::string file_doc{std::istreambuf_iterator<char>(in),
+                             std::istreambuf_iterator<char>()};
+  EXPECT_EQ(stdout_doc, file_doc);
+  std::remove(json.c_str());
+}
+
+TEST_F(Tools, FleetMergesByteIdenticallyToASingleSweep) {
+  // The acceptance contract: sofia_fleet with 2 local subprocess workers on
+  // the smoke matrix == one unsharded sofia_sweep run, byte for byte. The
+  // default --launch resolves the sofia_sweep sitting next to sofia_fleet.
+  const std::string tag = std::to_string(getpid());
+  const std::string fleet_json = "/tmp/sofia_fleet_" + tag + ".json";
+  const std::string single_json = "/tmp/sofia_fleet_" + tag + "_single.json";
+  int code = 0;
+  const auto fleet_out = run_command(
+      std::string(SOFIA_FLEET_BIN) + " --smoke --workers 2 --threads 1 --json " +
+          fleet_json, &code);
+  EXPECT_EQ(code, 0) << fleet_out;
+  EXPECT_NE(fleet_out.find("merged 2 shard(s)"), std::string::npos) << fleet_out;
+  const auto single_out = run_command(
+      std::string(SOFIA_SWEEP_BIN) + " --smoke --quiet --threads 2 --json " +
+          single_json, &code);
+  EXPECT_EQ(code, 0) << single_out;
+
+  const auto slurp = [](const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+  };
+  const auto fleet_doc = slurp(fleet_json);
+  EXPECT_FALSE(fleet_doc.empty());
+  EXPECT_EQ(fleet_doc, slurp(single_json));
+  std::remove(fleet_json.c_str());
+  std::remove(single_json.c_str());
+}
+
+TEST_F(Tools, FleetStreamsMergedDocumentToStdoutByDefault) {
+  int code = 0;
+  const auto doc = run_command(
+      "( " + std::string(SOFIA_FLEET_BIN) +
+          " --smoke --workers 2 --threads 1 2>/dev/null )", &code);
+  EXPECT_EQ(code, 0);
+  EXPECT_NE(doc.find("\"schema\": \"sofia-sweep-v3\""), std::string::npos)
+      << doc.substr(0, 200);
+  EXPECT_EQ(doc.rfind("sweep ", 0), std::string::npos);  // no log lines mixed in
+}
+
+TEST_F(Tools, FleetRejectsZeroWorkersAndFailingLaunches) {
+  int code = 0;
+  auto out = run_command(std::string(SOFIA_FLEET_BIN) + " --workers 0", &code);
+  EXPECT_EQ(code, 2) << out;
+  EXPECT_NE(out.find("--workers"), std::string::npos) << out;
+  // A launch command that exits nonzero without a document must fail the
+  // fleet, naming the worker.
+  out = run_command(std::string(SOFIA_FLEET_BIN) +
+                        " --smoke --workers 2 --launch false --json /dev/null",
+                    &code);
+  EXPECT_EQ(code, 1) << out;
+  EXPECT_NE(out.find("worker"), std::string::npos) << out;
+}
+
+TEST_F(Tools, WorkerServesARemoteRunForSofiaRun) {
+  // sofia_run --backend remote --worker <sofia_worker> must behave exactly
+  // like the local cycle backend, exit code included.
+  int code = 0;
+  run_command(std::string(SOFIA_ASM_BIN) + " --quiet --key-seed 5 " + src_ +
+                  " " + img_, &code);
+  ASSERT_EQ(code, 0);
+  const auto local = run_command(
+      std::string(SOFIA_RUN_BIN) + " --key-seed 5 " + img_, &code);
+  EXPECT_EQ(code, 33);
+  const auto remote = run_command(
+      std::string(SOFIA_RUN_BIN) + " --key-seed 5 --backend remote --worker '" +
+          SOFIA_WORKER_BIN + "' " + img_, &code);
+  EXPECT_EQ(code, 33) << remote;
+  EXPECT_NE(remote.find("status=exited"), std::string::npos) << remote;
+  EXPECT_NE(remote.find("backend=remote"), std::string::npos) << remote;
+
+  // Worker flags without --backend remote are rejected, not ignored.
+  const auto bad = run_command(
+      std::string(SOFIA_RUN_BIN) + " --worker-backend functional " + img_,
+      &code);
+  EXPECT_EQ(code, 2) << bad;
+  EXPECT_NE(bad.find("--worker-backend"), std::string::npos) << bad;
 }
 
 TEST_F(Tools, SweepListsMatricesAndRejectsUnknown) {

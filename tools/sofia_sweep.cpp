@@ -6,10 +6,11 @@
 // Multi-machine use: `--shard K/N` runs only job indices ≡ K (mod N), and
 // `--merge out.json in1.json in2.json...` concatenates the per-job records
 // back into the canonical document — byte-identical to an unsharded run.
+// `--json -` streams the document to stdout (progress moves to stderr), so
+// a coordinator like sofia_fleet can collect shards over any stdio
+// transport (subprocess, ssh, container) without a shared filesystem.
 #include <algorithm>
 #include <cstdio>
-#include <fstream>
-#include <iterator>
 #include <string>
 #include <thread>
 #include <vector>
@@ -18,24 +19,7 @@
 #include "sim/backend.hpp"
 #include "support/cli.hpp"
 #include "support/error.hpp"
-
-namespace {
-
-std::string slurp(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) throw sofia::Error("cannot read '" + path + "'");
-  return std::string(std::istreambuf_iterator<char>(in),
-                     std::istreambuf_iterator<char>());
-}
-
-bool spill(const std::string& path, const std::string& content) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return false;
-  out << content;
-  return true;
-}
-
-}  // namespace
+#include "support/io.hpp"
 
 int main(int argc, char** argv) {
   using namespace sofia;
@@ -60,7 +44,8 @@ int main(int argc, char** argv) {
               "architectural prefilter, no timing)")
       .option("--threads", threads, "N",
               "worker threads (default: hardware concurrency)")
-      .option("--json", json_path, "PATH", "write the results document to PATH")
+      .option("--json", json_path, "PATH",
+              "write the results document to PATH ('-' = stdout)")
       .option("--shard", shard_text, "K/N",
               "run only job indices congruent to K mod N")
       .option("--merge", merge_out, "OUT.json",
@@ -81,21 +66,21 @@ int main(int argc, char** argv) {
     return parser.fail("unexpected argument '" + merge_inputs.front() +
                        "' (input documents are only valid with --merge)");
 
+  // With the document on stdout, every informational line moves to stderr
+  // so the output stream stays byte-clean for the collector.
+  std::FILE* log = (json_path == "-" || merge_out == "-") ? stderr : stdout;
+
   try {
     if (!merge_out.empty()) {
       if (merge_inputs.empty())
         return parser.fail("--merge needs at least one input document");
       std::vector<std::string> documents;
       documents.reserve(merge_inputs.size());
-      for (const auto& path : merge_inputs) documents.push_back(slurp(path));
-      const std::string merged = driver::merge_json(documents);
-      if (!spill(merge_out, merged)) {
-        std::fprintf(stderr, "sofia_sweep: cannot write '%s'\n",
-                     merge_out.c_str());
-        return 1;
-      }
-      std::printf("merged %zu document(s) into %s\n", documents.size(),
-                  merge_out.c_str());
+      for (const auto& path : merge_inputs)
+        documents.push_back(io::read_file(path));
+      io::emit_document(merge_out, driver::merge_json(documents));
+      std::fprintf(log, "merged %zu document(s) into %s\n", documents.size(),
+                   merge_out.c_str());
       return 0;
     }
 
@@ -107,42 +92,41 @@ int main(int argc, char** argv) {
     spec = driver::with_backend(std::move(spec), backend);
     const auto jobs = driver::expand_jobs(spec);
     if (shard.is_whole()) {
-      std::printf("sweep %-20s %zu jobs on %u thread(s)\n", spec.name.c_str(),
-                  jobs.size(), threads);
+      std::fprintf(log, "sweep %-20s %zu jobs on %u thread(s)\n",
+                   spec.name.c_str(), jobs.size(), threads);
     } else {
-      std::printf("sweep %-20s shard %u/%u of %zu jobs on %u thread(s)\n",
-                  spec.name.c_str(), shard.index, shard.count, jobs.size(),
-                  threads);
+      std::fprintf(log, "sweep %-20s shard %u/%u of %zu jobs on %u thread(s)\n",
+                   spec.name.c_str(), shard.index, shard.count, jobs.size(),
+                   threads);
     }
 
     driver::ProgressFn progress;
     if (!quiet) {
-      progress = [](const driver::JobResult& r) {
+      progress = [log](const driver::JobResult& r) {
         if (!r.ok) {
-          std::printf("  [%3zu] %-14s %-34s FAILED: %s\n", r.job.index,
-                      r.job.workload.c_str(), r.job.config.name.c_str(),
-                      r.error.c_str());
+          std::fprintf(log, "  [%3zu] %-14s %-34s FAILED: %s\n", r.job.index,
+                       r.job.workload.c_str(), r.job.config.name.c_str(),
+                       r.error.c_str());
           return;
         }
-        std::printf("  [%3zu] %-14s %-34s cycles %10llu -> %10llu (%+6.1f%%)\n",
-                    r.job.index, r.job.workload.c_str(),
-                    r.job.config.name.c_str(),
-                    static_cast<unsigned long long>(r.m.vanilla_cycles),
-                    static_cast<unsigned long long>(r.m.sofia_cycles),
-                    r.m.cycle_overhead_pct());
+        std::fprintf(log,
+                     "  [%3zu] %-14s %-34s cycles %10llu -> %10llu (%+6.1f%%)\n",
+                     r.job.index, r.job.workload.c_str(),
+                     r.job.config.name.c_str(),
+                     static_cast<unsigned long long>(r.m.vanilla_cycles),
+                     static_cast<unsigned long long>(r.m.sofia_cycles),
+                     r.m.cycle_overhead_pct());
       };
     }
     const auto result = driver::run_sweep(spec, threads, progress, shard);
-    std::printf("done in %.2f s (%u thread(s)); %s\n", result.wall_seconds,
-                result.threads_used, result.all_ok() ? "all jobs ok" : "FAILURES");
+    std::fprintf(log, "done in %.2f s (%u thread(s)); %s\n",
+                 result.wall_seconds, result.threads_used,
+                 result.all_ok() ? "all jobs ok" : "FAILURES");
 
     if (!json_path.empty()) {
-      if (!spill(json_path, driver::to_json(result))) {
-        std::fprintf(stderr, "sofia_sweep: cannot write '%s'\n",
-                     json_path.c_str());
-        return 1;
-      }
-      std::printf("wrote %s\n", json_path.c_str());
+      io::emit_document(json_path, driver::to_json(result));
+      if (json_path != "-")
+        std::fprintf(log, "wrote %s\n", json_path.c_str());
     }
     return result.all_ok() ? 0 : 1;
   } catch (const Error& e) {

@@ -1,0 +1,20 @@
+// sofia-worker: the far side of the remote-execution backend. Speaks the
+// versioned wire protocol (src/remote/wire.hpp) on stdin/stdout — a
+// request→execute→reply loop that serves hello (describe a backend) and
+// run (execute an image under a SimConfig) requests until the coordinator
+// closes the stream. Because the transport is plain stdio, the same binary
+// works as a local subprocess, at the end of an `ssh host sofia_worker`
+// hop, or inside `docker run -i`. All diagnostics go to stderr; stdout
+// carries frames only.
+#include <cstdio>
+
+#include "remote/worker.hpp"
+#include "support/cli.hpp"
+
+int main(int argc, char** argv) {
+  sofia::cli::Parser parser(
+      "sofia_worker",
+      "serve remote-execution requests (wire frames) on stdin/stdout");
+  parser.parse_or_exit(argc, argv);
+  return sofia::remote::serve(stdin, stdout);
+}
