@@ -6,6 +6,7 @@
 #include <mutex>
 #include <thread>
 
+#include "scheme/scheme.hpp"
 #include "support/cli.hpp"
 #include "support/error.hpp"
 #include "support/json.hpp"
@@ -36,6 +37,7 @@ std::string ConfigPoint::fingerprint() const {
   fp += " icache=" + std::to_string(c.icache.size_bytes) + "x" +
         std::to_string(c.icache.line_bytes);
   fp += " unroll=" + std::to_string(unroll_cycles);
+  fp += " scheme=" + p.scheme;
   fp += " backend=" + p.backend;
   return fp;
 }
@@ -178,7 +180,7 @@ std::string to_json(const SweepResult& result) {
   const hw::HwModel model;
   json::Writer w(2);
   w.begin_object();
-  w.member("schema", "sofia-sweep-v3");
+  w.member("schema", "sofia-sweep-v4");
   w.member("sweep", result.sweep_name);
   w.member("job_count", static_cast<std::uint64_t>(
                             result.total_jobs ? result.total_jobs
@@ -192,6 +194,7 @@ std::string to_json(const SweepResult& result) {
     w.member("index", static_cast<std::uint64_t>(r.job.index));
     w.member("workload", r.job.workload);
     w.member("config", r.job.config.name);
+    w.member("scheme", r.job.config.opts.profile.scheme);
     w.member("backend", r.job.config.opts.profile.backend);
     w.member("fingerprint", r.job.config.fingerprint());
     w.member("seed", r.job.seed);
@@ -242,8 +245,8 @@ std::string merge_json(const std::vector<std::string>& documents) {
     const auto& doc = parsed.back();
     const auto label = "document " + std::to_string(d);
     const auto* schema = doc.find("schema");
-    if (schema == nullptr || schema->as_string("schema") != "sofia-sweep-v3")
-      throw Error("merge: " + label + " is not a sofia-sweep-v3 document");
+    if (schema == nullptr || schema->as_string("schema") != "sofia-sweep-v4")
+      throw Error("merge: " + label + " is not a sofia-sweep-v4 document");
     const auto* sweep = doc.find("sweep");
     const auto* count = doc.find("job_count");
     const auto* jobs = doc.find("jobs");
@@ -285,7 +288,7 @@ std::string merge_json(const std::vector<std::string>& documents) {
   // byte.
   json::Writer w(2);
   w.begin_object();
-  w.member("schema", "sofia-sweep-v3");
+  w.member("schema", "sofia-sweep-v4");
   w.member("sweep", sweep_name);
   w.member("job_count", total);
   w.key("jobs").begin_array();
@@ -392,6 +395,28 @@ SweepSpec unroll_matrix() {
   return spec;
 }
 
+SweepSpec scheme_matrix() {
+  SweepSpec spec;
+  spec.name = "scheme";
+  spec.size_divisor = 2;
+  for (const auto& entry : scheme::scheme_registry()) {
+    for (const auto kind :
+         {crypto::CipherKind::kRectangle80, crypto::CipherKind::kSpeck64_128}) {
+      ConfigPoint c = paper_default_config();
+      c.name = std::string(entry.name) + " / " +
+               std::string(crypto::to_string(kind)) +
+               (entry.name == scheme::kDefaultScheme &&
+                        kind == crypto::CipherKind::kRectangle80
+                    ? " (paper)"
+                    : "");
+      c.opts.profile.scheme = std::string(entry.name);
+      c.opts.profile.cipher = kind;
+      spec.configs.push_back(std::move(c));
+    }
+  }
+  return spec;
+}
+
 using MatrixFn = SweepSpec (*)();
 
 const std::vector<std::pair<std::string, MatrixFn>>& matrix_registry() {
@@ -400,6 +425,7 @@ const std::vector<std::pair<std::string, MatrixFn>>& matrix_registry() {
       {"granularity", granularity_matrix},
       {"blockpolicy", blockpolicy_matrix},
       {"cipher", cipher_matrix},
+      {"scheme", scheme_matrix},
       {"icache", icache_matrix},
       {"unroll", unroll_matrix},
   };
@@ -435,6 +461,12 @@ SweepSpec smoke(SweepSpec spec) {
 SweepSpec with_backend(SweepSpec spec, std::string_view backend) {
   const std::string validated = pipeline::DeviceProfile::parse_backend(backend);
   for (auto& config : spec.configs) config.opts.profile.backend = validated;
+  return spec;
+}
+
+SweepSpec with_scheme(SweepSpec spec, std::string_view scheme) {
+  const std::string validated = pipeline::DeviceProfile::parse_scheme(scheme);
+  for (auto& config : spec.configs) config.opts.profile.scheme = validated;
   return spec;
 }
 

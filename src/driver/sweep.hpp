@@ -36,7 +36,7 @@ struct ConfigPoint {
 
   /// Stable machine-readable fingerprint of every swept axis
   /// ("gran=per-pair alt=1 pipe=1 policy=8/4 cipher=RECTANGLE-80
-  /// icache=4096x32 unroll=2 backend=cycle").
+  /// icache=4096x32 unroll=2 scheme=sofia-cbcmac backend=cycle").
   std::string fingerprint() const;
 };
 
@@ -149,5 +149,13 @@ SweepSpec smoke(SweepSpec spec);
 /// DeviceProfile::parse_backend (throws for unknown names); the backend
 /// lands in each job's fingerprint and the per-job "backend" JSON member.
 SweepSpec with_backend(SweepSpec spec, std::string_view backend);
+
+/// Point every config cell at a protection scheme (scheme::scheme_registry()
+/// key; the sofia_sweep/sofia_report --scheme flag). Validates via
+/// DeviceProfile::parse_scheme (throws for unknown names); the scheme lands
+/// in each job's fingerprint and the per-job "scheme" JSON member. Note the
+/// built-in "scheme" matrix already varies this axis per cell — forcing it
+/// there would collapse the matrix, which is why the CLI flag is optional.
+SweepSpec with_scheme(SweepSpec spec, std::string_view scheme);
 
 }  // namespace sofia::driver

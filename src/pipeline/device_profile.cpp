@@ -60,6 +60,11 @@ std::string DeviceProfile::parse_backend(std::string_view name) {
   return std::string(name);
 }
 
+std::string DeviceProfile::parse_scheme(std::string_view name) {
+  scheme::get_scheme(name);  // throws the canonical "unknown scheme" error
+  return std::string(name);
+}
+
 remote::RemoteSpec DeviceProfile::parse_worker(std::string_view command,
                                                std::string_view far_backend) {
   if (command.empty())
@@ -106,6 +111,7 @@ xform::Options DeviceProfile::transform_options(assembler::MemoryLayout mem,
   xform::Options opts;
   opts.policy = policy;
   opts.granularity = granularity;
+  opts.scheme = scheme;
   opts.elide_unreachable = elide_unreachable;
   opts.mem = mem;
   return opts;
@@ -114,6 +120,7 @@ xform::Options DeviceProfile::transform_options(assembler::MemoryLayout mem,
 sim::SimConfig& DeviceProfile::configure(sim::SimConfig& config) const {
   config.keys = keys();
   config.policy = policy;
+  config.scheme = scheme;
   return config;
 }
 
@@ -132,6 +139,10 @@ std::string DeviceProfile::fingerprint() const {
   fp += crypto::to_string(granularity);
   fp += " policy=" + std::to_string(policy.words_per_block) + "/" +
         std::to_string(policy.store_min_word);
+  // Unconditional (even for the default): an image sealed under one scheme
+  // is a different artifact under any other, so the scheme is always part
+  // of the device identity.
+  fp += " scheme=" + scheme;
   fp += " backend=" + backend;
   if (backend == "remote") {
     // The endpoint is part of the device identity: two remote profiles
@@ -161,6 +172,7 @@ void DeviceProfile::to_json(json::Writer& w) const {
   if (omega_override >= 0)
     w.member("omega", static_cast<std::int64_t>(omega_override));
   w.member("granularity", crypto::to_string(granularity));
+  w.member("scheme", scheme);
   w.member("backend", backend);
   if (backend == "remote") {
     const auto spec = remote.resolved();

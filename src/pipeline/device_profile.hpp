@@ -19,6 +19,7 @@
 #include "crypto/ctr.hpp"
 #include "crypto/key_set.hpp"
 #include "remote/spec.hpp"
+#include "scheme/scheme.hpp"
 #include "sim/backend.hpp"
 #include "sim/config.hpp"
 #include "xform/block_policy.hpp"
@@ -49,6 +50,12 @@ struct DeviceProfile {
   /// The paper's hardware datapath moves 64-bit blocks, i.e. per-pair CTR.
   crypto::Granularity granularity = crypto::Granularity::kPerPair;
   xform::BlockPolicy policy = xform::BlockPolicy::paper_default();
+  /// Protection scheme both sides implement — a scheme::scheme_registry()
+  /// key ("sofia-cbcmac" = the paper's MAC-then-encrypt, "sponge" =
+  /// chained-state authenticated decryption, "null" = encrypt-only
+  /// baseline). Stamped onto xform::Options and sim::SimConfig alike, so
+  /// toolchain and device cannot disagree; validate with parse_scheme().
+  std::string scheme = std::string(scheme::kDefaultScheme);
   /// Execution backend the device runs on — a sim::backend_registry() key
   /// ("cycle" = paper-faithful timing, "functional" = fast architectural
   /// interpreter with identical integrity semantics, "remote" = ship runs
@@ -91,6 +98,12 @@ struct DeviceProfile {
   /// anything unknown.
   static std::string parse_backend(std::string_view name);
 
+  /// Validate a protection-scheme name against scheme::scheme_registry()
+  /// and return it (exact match — the same grammar the CLI --scheme choice
+  /// flags accept). Throws sofia::Error listing the registered schemes for
+  /// anything unknown.
+  static std::string parse_scheme(std::string_view name);
+
   /// Parse a remote endpoint (the CLI --worker / --worker-backend pair)
   /// into a validated RemoteSpec: the command must be non-empty and the
   /// far-side backend, when given, must be a registered non-remote key
@@ -114,7 +127,7 @@ struct DeviceProfile {
 
   /// Stable machine-readable identity of every axis, e.g.
   /// "cipher=RECTANGLE-80 keys=example gran=per-pair policy=8/4
-  /// backend=cycle".
+  /// scheme=sofia-cbcmac backend=cycle".
   std::string fingerprint() const;
 
   /// Emit the profile as a JSON object through the deterministic writer.

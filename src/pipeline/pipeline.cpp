@@ -174,6 +174,14 @@ const sim::Backend& Pipeline::backend() const {
   fail("backend", "unknown backend '" + profile_.backend + "'");
 }
 
+const scheme::ProtectionScheme& Pipeline::scheme() const {
+  try {
+    return scheme::get_scheme(profile_.scheme);
+  } catch (const std::exception& e) {
+    fail("scheme", e.what());
+  }
+}
+
 const sim::RunResult& Pipeline::run() {
   if (!run_) {
     const auto& img = image();

@@ -166,6 +166,12 @@ class Pipeline {
   /// consumer constructs a simulator directly.
   const sim::Backend& backend() const;
 
+  /// The protection scheme this session seals and opens blocks with,
+  /// resolved from profile().scheme through scheme::scheme_registry().
+  /// Unknown names throw with "pipeline[name]/scheme:" context (the same
+  /// error transform/run would hit, surfaced earlier and cleaner).
+  const scheme::ProtectionScheme& scheme() const;
+
  private:
   Pipeline(std::string name, DeviceProfile profile);
 

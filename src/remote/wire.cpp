@@ -183,6 +183,9 @@ void put_config(ByteWriter& w, const sim::SimConfig& c) {
   w.u64(c.max_cycles);
   w.u8(c.collect_trace ? 1 : 0);
   w.u64(static_cast<std::uint64_t>(c.max_trace));
+  // v2: the protection scheme the device must run (named, not an index, so
+  // worker and coordinator registries may grow independently).
+  w.str(c.scheme);
 }
 
 sim::SimConfig get_config(ByteReader& r) {
@@ -215,6 +218,7 @@ sim::SimConfig get_config(ByteReader& r) {
   c.max_cycles = r.u64("config.max_cycles");
   c.collect_trace = r.boolean("config.collect_trace");
   c.max_trace = static_cast<std::size_t>(r.u64("config.max_trace"));
+  c.scheme = r.str("config.scheme");
   return c;
 }
 
@@ -486,7 +490,7 @@ RunReply decode_run_reply(const std::vector<std::uint8_t>& payload) {
   res.status = static_cast<sim::RunResult::Status>(status);
   res.exit_code = r.i32("result.exit_code");
   const std::uint8_t cause = r.u8("result.reset.cause");
-  if (cause > static_cast<std::uint8_t>(sim::ResetCause::kIllegalInstruction))
+  if (cause > static_cast<std::uint8_t>(sim::ResetCause::kStateCorruption))
     r.fail("result.reset.cause", "unknown reset cause " + std::to_string(cause));
   res.reset.cause = static_cast<sim::ResetCause>(cause);
   res.reset.cycle = r.u64("result.reset.cycle");

@@ -26,7 +26,10 @@
 
 namespace sofia::remote {
 
-inline constexpr std::uint16_t kProtocolVersion = 1;
+/// v2: SimConfig carries the protection-scheme name (appended to the config
+/// codec) and RunReply's reset cause admits kStateCorruption. Mixed-version
+/// pairs fail fast at the frame header rather than mis-parse payloads.
+inline constexpr std::uint16_t kProtocolVersion = 2;
 
 /// Upper bound on a frame payload (64 MiB): far larger than any real image
 /// or result, small enough that a corrupt length field cannot drive a

@@ -1,0 +1,113 @@
+#include "scheme/cbcmac_scheme.hpp"
+
+#include <span>
+
+#include "crypto/cbc_mac.hpp"
+#include "scheme/ctr_common.hpp"
+
+namespace sofia::scheme {
+
+namespace {
+
+class CbcMacSealer final : public Sealer {
+ public:
+  CbcMacSealer(const crypto::KeySet& keys, crypto::Granularity gran)
+      : enc_(keys.encryption_cipher()),
+        exec_mac_(keys.exec_mac_cipher()),
+        mux_mac_(keys.mux_mac_cipher()),
+        omega_(keys.omega),
+        gran_(gran) {}
+
+  std::vector<std::uint32_t> plaintext(
+      const BlockInfo& info,
+      const std::vector<std::uint32_t>& inst_words) const override {
+    const auto& mac_cipher = info.is_mux ? *mux_mac_ : *exec_mac_;
+    const std::uint64_t tag = crypto::cbc_mac64(mac_cipher, inst_words);
+    const std::uint32_t m1 = crypto::mac_word1(tag);
+    const std::uint32_t m2 = crypto::mac_word2(tag);
+    // [M1, M2] for an execution block, [M1, M1, M2] for a multiplexor
+    // block (two entry copies of M1, §II-D).
+    std::vector<std::uint32_t> words =
+        info.is_mux ? std::vector<std::uint32_t>{m1, m1, m2}
+                    : std::vector<std::uint32_t>{m1, m2};
+    words.insert(words.end(), inst_words.begin(), inst_words.end());
+    return words;
+  }
+
+  std::vector<std::uint32_t> seal(
+      const BlockInfo& info,
+      const std::vector<std::uint32_t>& inst_words) const override {
+    std::vector<std::uint32_t> words = plaintext(info, inst_words);
+    detail::ctr_seal(info, words, *enc_, omega_, gran_);
+    return words;
+  }
+
+ private:
+  std::unique_ptr<crypto::BlockCipher64> enc_;
+  std::unique_ptr<crypto::BlockCipher64> exec_mac_;
+  std::unique_ptr<crypto::BlockCipher64> mux_mac_;
+  std::uint16_t omega_;
+  crypto::Granularity gran_;
+};
+
+class CbcMacOpener final : public Opener {
+ public:
+  CbcMacOpener(const crypto::KeySet& keys, std::uint16_t omega,
+               crypto::Granularity gran)
+      : enc_(keys.encryption_cipher()),
+        exec_mac_(keys.exec_mac_cipher()),
+        mux_mac_(keys.mux_mac_cipher()),
+        omega_(omega),
+        gran_(gran) {}
+
+  DeviceBlock open(std::uint32_t base_word, std::uint32_t prev_word,
+                   const EntryPath& path,
+                   const std::vector<std::uint32_t>& raw) const override {
+    const auto b = static_cast<std::uint32_t>(raw.size());
+    DeviceBlock out;
+    out.first_inst = path.first_inst;
+    out.plain.assign(b, 0);
+    detail::ctr_open(path, base_word, prev_word, raw, out, *enc_, omega_,
+                     gran_);
+
+    // The stored tag sits in the entered M1 copy and the M2 word.
+    const std::uint32_t m1 = out.plain[path.entry_word_index];
+    const std::uint32_t m2 = out.plain[path.is_mux ? 2 : 1];
+    const std::uint64_t stored_tag =
+        (static_cast<std::uint64_t>(m2) << 32) | m1;
+    out.verify_extra_words = {path.entry_word_index, path.is_mux ? 2u : 1u};
+
+    // Run-time CBC-MAC over the decrypted instructions: one chained
+    // cipher op per 64-bit word pair.
+    for (std::uint32_t w = path.first_inst; w < b; w += 2)
+      out.verify_ops.push_back({w, std::min(2u, b - w)});
+    const std::span<const std::uint32_t> inst_words(
+        out.plain.data() + path.first_inst, b - path.first_inst);
+    const auto& mac_cipher = path.is_mux ? *mux_mac_ : *exec_mac_;
+    if (crypto::cbc_mac64(mac_cipher, inst_words) != stored_tag)
+      out.verify_cause = sim::ResetCause::kMacMismatch;
+    return out;
+  }
+
+ private:
+  std::unique_ptr<crypto::BlockCipher64> enc_;
+  std::unique_ptr<crypto::BlockCipher64> exec_mac_;
+  std::unique_ptr<crypto::BlockCipher64> mux_mac_;
+  std::uint16_t omega_;
+  crypto::Granularity gran_;
+};
+
+}  // namespace
+
+std::unique_ptr<Sealer> CbcMacScheme::make_sealer(
+    const crypto::KeySet& keys, crypto::Granularity gran) const {
+  return std::make_unique<CbcMacSealer>(keys, gran);
+}
+
+std::unique_ptr<Opener> CbcMacScheme::make_opener(
+    const crypto::KeySet& keys, std::uint16_t omega,
+    crypto::Granularity gran) const {
+  return std::make_unique<CbcMacOpener>(keys, omega, gran);
+}
+
+}  // namespace sofia::scheme

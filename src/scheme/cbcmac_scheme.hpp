@@ -1,0 +1,35 @@
+// The paper's protection design (§II-B/§II-C), extracted verbatim from
+// xform::transform and the simulator front ends: a 64-bit CBC-MAC over
+// the block's plaintext instructions (k2 for execution blocks, k3 for
+// multiplexor blocks) stored as header words [M1, M2] (mux: [M1, M1, M2],
+// one M1 copy per entry path), then the whole block CTR-encrypted with
+// control-flow-dependent counters (MAC-then-Encrypt). The device
+// recomputes the MAC over the decrypted instructions; a mismatch pulls
+// reset with kMacMismatch.
+#pragma once
+
+#include "scheme/scheme.hpp"
+
+namespace sofia::scheme {
+
+inline constexpr std::string_view kCbcMacSchemeDescription =
+    "SOFIA MAC-then-encrypt: per-block CBC-MAC header + CF-dependent CTR "
+    "(the paper's design)";
+
+class CbcMacScheme final : public ProtectionScheme {
+ public:
+  std::string_view name() const override { return "sofia-cbcmac"; }
+  std::string_view describe() const override {
+    return kCbcMacSchemeDescription;
+  }
+  SchemeTraits traits() const override {
+    return {/*authenticated=*/true, /*uses_granularity=*/true};
+  }
+  std::unique_ptr<Sealer> make_sealer(const crypto::KeySet& keys,
+                                      crypto::Granularity gran) const override;
+  std::unique_ptr<Opener> make_opener(const crypto::KeySet& keys,
+                                      std::uint16_t omega,
+                                      crypto::Granularity gran) const override;
+};
+
+}  // namespace sofia::scheme

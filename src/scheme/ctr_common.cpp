@@ -1,0 +1,63 @@
+#include "scheme/ctr_common.hpp"
+
+namespace sofia::scheme::detail {
+
+void ctr_seal(const BlockInfo& info, std::vector<std::uint32_t>& words,
+              const crypto::BlockCipher64& enc, std::uint16_t omega,
+              crypto::Granularity gran) {
+  const auto n = static_cast<std::uint32_t>(words.size());
+  if (gran == crypto::Granularity::kPerWord) {
+    for (std::uint32_t j = 0; j < n; ++j) {
+      words[j] ^= crypto::keystream32(enc, omega, seal_prev_word(info, j),
+                                      info.base_word + j);
+    }
+    return;
+  }
+  std::uint32_t j = 0;
+  if (info.is_mux) {
+    for (; j < 2; ++j)
+      words[j] ^= crypto::keystream32(enc, omega, seal_prev_word(info, j),
+                                      info.base_word + j);
+  }
+  for (; j < n; j += 2) {
+    const std::uint64_t ks = crypto::keystream64(
+        enc, omega, seal_prev_word(info, j), info.base_word + j);
+    words[j] ^= static_cast<std::uint32_t>(ks);
+    words[j + 1] ^= static_cast<std::uint32_t>(ks >> 32);
+  }
+}
+
+void ctr_open(const EntryPath& path, std::uint32_t base_word,
+              std::uint32_t prev_word, const std::vector<std::uint32_t>& raw,
+              DeviceBlock& out, const crypto::BlockCipher64& enc,
+              std::uint16_t omega, crypto::Granularity gran) {
+  const auto b = static_cast<std::uint32_t>(raw.size());
+  const std::uint32_t entry = path.entry_word_index;
+  const auto prev_for = [&](std::uint32_t j) {
+    return j == entry ? prev_word : base_word + j - 1;
+  };
+  if (gran == crypto::Granularity::kPerWord) {
+    for (const std::uint32_t j : path.sched) {
+      out.decrypt_ops.push_back({j, 1});
+      out.plain[j] =
+          raw[j] ^ crypto::keystream32(enc, omega, prev_for(j), base_word + j);
+    }
+    return;
+  }
+  // Multiplexor entry words are single-word granules; the body pairs up.
+  const std::uint32_t body_start = path.is_mux ? 2 : 0;
+  if (path.is_mux) {
+    out.decrypt_ops.push_back({entry, 1});
+    out.plain[entry] = raw[entry] ^ crypto::keystream32(enc, omega, prev_word,
+                                                        base_word + entry);
+  }
+  for (std::uint32_t j = body_start; j < b; j += 2) {
+    out.decrypt_ops.push_back({j, 2});
+    const std::uint64_t ks = crypto::keystream64(
+        enc, omega, j == 0 ? prev_word : base_word + j - 1, base_word + j);
+    out.plain[j] = raw[j] ^ static_cast<std::uint32_t>(ks);
+    out.plain[j + 1] = raw[j + 1] ^ static_cast<std::uint32_t>(ks >> 32);
+  }
+}
+
+}  // namespace sofia::scheme::detail

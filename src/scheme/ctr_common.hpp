@@ -1,0 +1,41 @@
+// Shared CTR-with-control-flow-counters block layout, used by every
+// scheme that encrypts the standard [header | instructions] block shape
+// with crypto::pack_counter keystreams (sofia-cbcmac and null encrypt the
+// whole block this way; sponge reuses the per-word path for its header).
+// Internal to src/scheme/.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/ctr.hpp"
+#include "scheme/scheme.hpp"
+
+namespace sofia::scheme::detail {
+
+/// prevPC (word address) used to en/decrypt block word index `j` at
+/// install time: word 0 binds to predecessor path 1, a multiplexor's
+/// word 1 binds to path 2, everything else chains sequentially.
+inline std::uint32_t seal_prev_word(const BlockInfo& info, std::uint32_t j) {
+  if (j == 0) return info.pred1_word;
+  if (info.is_mux && j == 1) return info.pred2_word;
+  return info.base_word + j - 1;
+}
+
+/// CTR-encrypt a full block in place (toolchain side). Per-pair treats
+/// multiplexor entry words as single-word granules (their predecessors
+/// differ) and pairs everything else on even offsets.
+void ctr_seal(const BlockInfo& info, std::vector<std::uint32_t>& words,
+              const crypto::BlockCipher64& enc, std::uint16_t omega,
+              crypto::Granularity gran);
+
+/// CTR-decrypt the fetched words of a block (device side): fills
+/// `out.plain` for every scheduled word and appends one OpSpan per cipher
+/// operation, in issue order — the mirror image of ctr_seal for the
+/// entered path.
+void ctr_open(const EntryPath& path, std::uint32_t base_word,
+              std::uint32_t prev_word, const std::vector<std::uint32_t>& raw,
+              DeviceBlock& out, const crypto::BlockCipher64& enc,
+              std::uint16_t omega, crypto::Granularity gran);
+
+}  // namespace sofia::scheme::detail

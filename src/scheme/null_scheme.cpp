@@ -1,0 +1,82 @@
+#include "scheme/null_scheme.hpp"
+
+#include "scheme/ctr_common.hpp"
+
+namespace sofia::scheme {
+
+namespace {
+
+// Recognizable filler for the unused header slots ("NUL1"/"NUL2" in
+// ASCII). Never checked by the device — they only keep the shared block
+// geometry so null images are layout-compatible with the other schemes.
+constexpr std::uint32_t kMarker1 = 0x314C554Eu;
+constexpr std::uint32_t kMarker2 = 0x324C554Eu;
+
+class NullSealer final : public Sealer {
+ public:
+  NullSealer(const crypto::KeySet& keys, crypto::Granularity gran)
+      : enc_(keys.encryption_cipher()), omega_(keys.omega), gran_(gran) {}
+
+  std::vector<std::uint32_t> plaintext(
+      const BlockInfo& info,
+      const std::vector<std::uint32_t>& inst_words) const override {
+    std::vector<std::uint32_t> words =
+        info.is_mux ? std::vector<std::uint32_t>{kMarker1, kMarker1, kMarker2}
+                    : std::vector<std::uint32_t>{kMarker1, kMarker2};
+    words.insert(words.end(), inst_words.begin(), inst_words.end());
+    return words;
+  }
+
+  std::vector<std::uint32_t> seal(
+      const BlockInfo& info,
+      const std::vector<std::uint32_t>& inst_words) const override {
+    std::vector<std::uint32_t> words = plaintext(info, inst_words);
+    detail::ctr_seal(info, words, *enc_, omega_, gran_);
+    return words;
+  }
+
+ private:
+  std::unique_ptr<crypto::BlockCipher64> enc_;
+  std::uint16_t omega_;
+  crypto::Granularity gran_;
+};
+
+class NullOpener final : public Opener {
+ public:
+  NullOpener(const crypto::KeySet& keys, std::uint16_t omega,
+             crypto::Granularity gran)
+      : enc_(keys.encryption_cipher()), omega_(omega), gran_(gran) {}
+
+  DeviceBlock open(std::uint32_t base_word, std::uint32_t prev_word,
+                   const EntryPath& path,
+                   const std::vector<std::uint32_t>& raw) const override {
+    DeviceBlock out;
+    out.first_inst = path.first_inst;
+    out.plain.assign(raw.size(), 0);
+    detail::ctr_open(path, base_word, prev_word, raw, out, *enc_, omega_,
+                     gran_);
+    // Header words are discarded unchecked; no verification, no store gate.
+    out.performs_verify = false;
+    return out;
+  }
+
+ private:
+  std::unique_ptr<crypto::BlockCipher64> enc_;
+  std::uint16_t omega_;
+  crypto::Granularity gran_;
+};
+
+}  // namespace
+
+std::unique_ptr<Sealer> NullScheme::make_sealer(const crypto::KeySet& keys,
+                                                crypto::Granularity gran) const {
+  return std::make_unique<NullSealer>(keys, gran);
+}
+
+std::unique_ptr<Opener> NullScheme::make_opener(const crypto::KeySet& keys,
+                                                std::uint16_t omega,
+                                                crypto::Granularity gran) const {
+  return std::make_unique<NullOpener>(keys, omega, gran);
+}
+
+}  // namespace sofia::scheme

@@ -1,0 +1,31 @@
+// Encryption-only baseline: the block layout and CF-dependent CTR
+// encryption of sofia-cbcmac with the MAC replaced by constant marker
+// words and no device-side verification at all. The overhead floor for
+// the protection sweep — everything left when detection is removed
+// (confidentiality and implicit CF binding through garbled decryption,
+// but no reset on tampering and no store gate).
+#pragma once
+
+#include "scheme/scheme.hpp"
+
+namespace sofia::scheme {
+
+inline constexpr std::string_view kNullSchemeDescription =
+    "encrypt-only baseline: CF-dependent CTR, constant header, no "
+    "verification (overhead floor)";
+
+class NullScheme final : public ProtectionScheme {
+ public:
+  std::string_view name() const override { return "null"; }
+  std::string_view describe() const override { return kNullSchemeDescription; }
+  SchemeTraits traits() const override {
+    return {/*authenticated=*/false, /*uses_granularity=*/true};
+  }
+  std::unique_ptr<Sealer> make_sealer(const crypto::KeySet& keys,
+                                      crypto::Granularity gran) const override;
+  std::unique_ptr<Opener> make_opener(const crypto::KeySet& keys,
+                                      std::uint16_t omega,
+                                      crypto::Granularity gran) const override;
+};
+
+}  // namespace sofia::scheme

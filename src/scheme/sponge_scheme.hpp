@@ -1,0 +1,44 @@
+// SCFP-style sponge protection: authenticated decryption through a
+// chained cipher state instead of a separate MAC pass. Each instruction
+// word's keystream is squeezed from the running state (E_k1(S)); the
+// word's *ciphertext* and absolute address are absorbed back
+// (S' = E_k2(S ^ (c | addr << 32))), so any tampered, reordered or
+// relocated word sends the state — and every later decryption — into
+// garbage. The final state, whitened with the body length, is the block
+// tag; its two words are stored in the standard header slots and
+// CTR-encrypted with control-flow-dependent counters exactly like
+// sofia-cbcmac's MAC words, which is where entry-path binding lives. The
+// device recomputes the chain over the fetched ciphertext and resets with
+// kStateCorruption on a tag mismatch.
+//
+// Timing shape: one serial cipher op per body word (state chaining admits
+// no eager issue), no separate CBC pass. The CTR granularity axis is
+// ignored — the chain is inherently per-word (traits().uses_granularity
+// is false).
+#pragma once
+
+#include "scheme/scheme.hpp"
+
+namespace sofia::scheme {
+
+inline constexpr std::string_view kSpongeSchemeDescription =
+    "SCFP-style chained-state authenticated decryption; detection by "
+    "state corruption";
+
+class SpongeScheme final : public ProtectionScheme {
+ public:
+  std::string_view name() const override { return "sponge"; }
+  std::string_view describe() const override {
+    return kSpongeSchemeDescription;
+  }
+  SchemeTraits traits() const override {
+    return {/*authenticated=*/true, /*uses_granularity=*/false};
+  }
+  std::unique_ptr<Sealer> make_sealer(const crypto::KeySet& keys,
+                                      crypto::Granularity gran) const override;
+  std::unique_ptr<Opener> make_opener(const crypto::KeySet& keys,
+                                      std::uint16_t omega,
+                                      crypto::Granularity gran) const override;
+};
+
+}  // namespace sofia::scheme

@@ -27,6 +27,7 @@ enum class ResetCause : std::uint8_t {
   kRestrictedStore,     ///< store decoded in a restricted slot (Fig. 6)
   kIllegalExit,         ///< control instruction decoded off the exit slot
   kIllegalInstruction,  ///< undecodable word reached decode
+  kStateCorruption,     ///< chained-state scheme tag mismatch ("sponge")
 };
 
 std::string_view to_string(ResetCause cause);
@@ -82,6 +83,11 @@ struct SimConfig {
   std::uint32_t mul_latency = 3;
   // SOFIA device state (ignored for vanilla images).
   crypto::KeySet keys;
+  /// Protection scheme the device implements — a scheme::scheme_registry()
+  /// key. The literal default mirrors scheme::kDefaultScheme (this header
+  /// cannot include scheme/scheme.hpp without a layering cycle; test_scheme
+  /// asserts the two stay equal).
+  std::string scheme = "sofia-cbcmac";
   xform::BlockPolicy policy = xform::BlockPolicy::paper_default();
   CipherTiming cipher;
   /// Pipeline distance between our execute point (ID/OF) and the MA stage:

@@ -2,9 +2,6 @@
 
 #include <algorithm>
 
-#include "crypto/cbc_mac.hpp"
-#include "crypto/ctr.hpp"
-
 namespace sofia::sim {
 
 // ---------------------------------------------------------------------------
@@ -69,11 +66,10 @@ SofiaFetch::SofiaFetch(const Memory& mem, ICache& icache, CipherEngine& engine,
       engine_(engine),
       config_(config),
       text_base_word_(image.text_base / 4),
-      omega_(image.omega),
-      per_pair_(image.per_pair),
-      enc_(config.keys.encryption_cipher()),
-      exec_mac_(config.keys.exec_mac_cipher()),
-      mux_mac_(config.keys.mux_mac_cipher()) {
+      opener_(scheme::get_scheme(config.scheme)
+                  .make_opener(config.keys, image.omega,
+                               image.per_pair ? crypto::Granularity::kPerPair
+                                              : crypto::Granularity::kPerWord)) {
   process_block(image.entry / 4, image.entry_prev, 0);
 }
 
@@ -117,29 +113,17 @@ void SofiaFetch::process_block(std::uint32_t target_word, std::uint32_t prev_wor
     reset_ = ResetEvent{ResetCause::kInvalidEntry, entry_cycle, target_word * 4};
     return;
   }
-  const bool is_mux = offset != 0;
-  // Word indices fetched, in order. Path 1 (offset 1) starts at word 0 and
-  // skips word 1; path 2 (offset 2) starts at word 1.
-  std::vector<std::uint32_t> sched;
-  if (!is_mux) {
-    for (std::uint32_t j = 0; j < b; ++j) sched.push_back(j);
-  } else if (offset == 1) {
-    sched.push_back(0);
-    for (std::uint32_t j = 2; j < b; ++j) sched.push_back(j);
-  } else {
-    for (std::uint32_t j = 1; j < b; ++j) sched.push_back(j);
-  }
+  const scheme::EntryPath path = scheme::entry_path(offset, b);
 
   // ---- fetch words through the I-cache ----
   // The SOFIA datapath reads fetch_words_per_cycle words per cycle (the
   // 64-bit cipher block suggests 2); misses stall for the refill.
-  const std::uint32_t entry_word_index = sched.front();
   const std::uint32_t per_cycle = std::max(1u, config_.fetch_words_per_cycle);
   std::uint64_t cursor = entry_cycle;
   std::vector<std::uint64_t> fetch_done(b, 0);
   std::vector<std::uint32_t> raw(b, 0);
   std::uint32_t in_cycle = 0;
-  for (const std::uint32_t j : sched) {
+  for (const std::uint32_t j : path.sched) {
     const std::uint32_t addr = (base_word + j) * 4;
     const std::uint32_t delay = icache_.access(addr);
     if (delay > 1) {
@@ -155,88 +139,65 @@ void SofiaFetch::process_block(std::uint32_t target_word, std::uint32_t prev_wor
     raw[j] = apply_fault(config_.fault, mem_.load32(addr));
   }
 
-  // ---- CTR keystream (counters depend only on addresses: issue eagerly) ----
-  auto prev_for = [&](std::uint32_t j) {
-    return j == entry_word_index ? prev_word : base_word + j - 1;
-  };
+  // ---- open the block through the protection scheme ----
+  const scheme::DeviceBlock dev = opener_->open(base_word, prev_word, path, raw);
+
+  // ---- replay the decrypt ops on the shared engine ----
+  // Eager-issue schemes (address-only counters) start every op at block
+  // entry; a serial chain additionally waits for the previous op and for
+  // the span's fetched ciphertext.
   std::vector<std::uint64_t> ks_done(b, 0);
-  std::vector<std::uint32_t> plain(b, 0);
-  if (!per_pair_) {
-    for (const std::uint32_t j : sched) {
-      ks_done[j] = engine_.schedule(CipherEngine::Op::kCtr, entry_cycle);
-      ++ctr_ops;
-      plain[j] = raw[j] ^ crypto::keystream32(*enc_, omega_, prev_for(j),
-                                              base_word + j);
+  std::uint64_t prev_op_done = 0;
+  for (const auto& op : dev.decrypt_ops) {
+    std::uint64_t issue = entry_cycle;
+    if (dev.serial_decrypt) {
+      issue = std::max(issue, prev_op_done);
+      for (std::uint32_t k = 0; k < op.count; ++k)
+        issue = std::max(issue, fetch_done[op.first + k]);
     }
-  } else {
-    // Multiplexor entry words are single-word granules; the body pairs up.
-    std::uint32_t body_start = is_mux ? 2 : 0;
-    if (is_mux) {
-      const std::uint32_t e = entry_word_index;
-      ks_done[e] = engine_.schedule(CipherEngine::Op::kCtr, entry_cycle);
-      ++ctr_ops;
-      plain[e] = raw[e] ^ crypto::keystream32(*enc_, omega_, prev_word,
-                                              base_word + e);
-    }
-    for (std::uint32_t j = body_start; j < b; j += 2) {
-      const std::uint64_t done = engine_.schedule(CipherEngine::Op::kCtr, entry_cycle);
-      ++ctr_ops;
-      const std::uint64_t ks = crypto::keystream64(
-          *enc_, omega_, j == 0 ? prev_word : base_word + j - 1, base_word + j);
-      ks_done[j] = done;
-      ks_done[j + 1] = done;
-      plain[j] = raw[j] ^ static_cast<std::uint32_t>(ks);
-      plain[j + 1] = raw[j + 1] ^ static_cast<std::uint32_t>(ks >> 32);
-    }
+    prev_op_done = engine_.schedule(CipherEngine::Op::kCtr, issue);
+    ++ctr_ops;
+    for (std::uint32_t k = 0; k < op.count; ++k)
+      ks_done[op.first + k] = prev_op_done;
   }
 
   std::vector<std::uint64_t> decrypt_done(b, 0);
-  for (const std::uint32_t j : sched)
+  for (const std::uint32_t j : path.sched)
     decrypt_done[j] = std::max(fetch_done[j], ks_done[j]);
 
-  // ---- split MAC words from instructions ----
-  const std::uint32_t first_inst = is_mux ? 3 : 2;
-  const std::uint32_t m1 = plain[entry_word_index];
-  const std::uint32_t m2 = plain[is_mux ? 2 : 1];
-  mac_words_seen += 2;
-  const std::uint64_t stored_tag =
-      (static_cast<std::uint64_t>(m2) << 32) | m1;
+  mac_words_seen += dev.header_words;
 
-  std::vector<std::uint32_t> inst_words(plain.begin() + first_inst, plain.end());
-
-  // ---- run-time CBC-MAC over the decrypted instructions ----
-  std::uint64_t chain_ready =
-      std::max(decrypt_done[entry_word_index], decrypt_done[is_mux ? 2 : 1]);
-  {
-    std::uint64_t prev_done = 0;
-    for (std::uint32_t w = first_inst; w < b; w += 2) {
-      std::uint64_t in_ready = decrypt_done[w];
-      if (w + 1 < b) in_ready = std::max(in_ready, decrypt_done[w + 1]);
-      in_ready = std::max(in_ready, prev_done);
-      prev_done = engine_.schedule(CipherEngine::Op::kCbc, in_ready);
-      ++cbc_ops;
-    }
-    chain_ready = std::max(chain_ready, prev_done);
+  // ---- replay the verify chain ----
+  std::uint64_t chain_ready = 0;
+  for (const auto& op : dev.verify_ops) {
+    std::uint64_t in_ready = chain_ready;
+    for (std::uint32_t k = 0; k < op.count; ++k)
+      in_ready = std::max(in_ready, decrypt_done[op.first + k]);
+    chain_ready = engine_.schedule(CipherEngine::Op::kCbc, in_ready);
+    ++cbc_ops;
   }
+  for (const std::uint32_t w : dev.verify_extra_words)
+    chain_ready = std::max(chain_ready, decrypt_done[w]);
   const std::uint64_t verify_cycle = chain_ready + 1;
-  ++verifications;
-
-  const auto& mac_cipher = is_mux ? *mux_mac_ : *exec_mac_;
-  const std::uint64_t computed_tag = crypto::cbc_mac64(mac_cipher, inst_words);
-  const bool mac_ok = computed_tag == stored_tag;
+  if (dev.performs_verify) ++verifications;
 
   // ---- decode, check placement rules, stage deliveries ----
-  if (!mac_ok) {
-    // The run-time MAC differs from the stored one: tampered instructions
-    // or tampered control flow. Reset fires when the comparison completes;
-    // nothing from this block may commit (the store gate would have held
-    // its stores back in the real pipeline).
-    reset_ = ResetEvent{ResetCause::kMacMismatch, verify_cycle, base_word * 4};
+  if (dev.verify_cause != ResetCause::kNone) {
+    // The scheme's verification failed: tampered instructions or tampered
+    // control flow. Reset fires when the comparison completes; nothing
+    // from this block may commit (the store gate would have held its
+    // stores back in the real pipeline).
+    reset_ = ResetEvent{dev.verify_cause, verify_cycle, base_word * 4};
     return;
   }
-  const std::uint64_t gate = verify_cycle > config_.store_gate_headstart
-                                 ? verify_cycle - config_.store_gate_headstart
-                                 : 0;
+  // An unauthenticated scheme never gates stores (there is no
+  // verification to wait for).
+  const std::uint64_t gate =
+      dev.performs_verify && verify_cycle > config_.store_gate_headstart
+          ? verify_cycle - config_.store_gate_headstart
+          : 0;
+  const std::uint32_t first_inst = dev.first_inst;
+  const std::vector<std::uint32_t>& plain = dev.plain;
   for (std::uint32_t w = first_inst; w < b; ++w) {
     const auto decoded = isa::decode(plain[w]);
     const std::uint32_t pc = (base_word + w) * 4;

@@ -22,8 +22,8 @@
 #include <optional>
 
 #include "assembler/image.hpp"
-#include "crypto/block_cipher.hpp"
 #include "isa/isa.hpp"
+#include "scheme/scheme.hpp"
 #include "sim/cipher_engine.hpp"
 #include "sim/config.hpp"
 #include "sim/icache.hpp"
@@ -111,10 +111,11 @@ class SofiaFetch final : public FetchUnit {
   std::optional<ResetEvent> reset() const override { return reset_; }
 
  private:
-  /// Process one whole block starting at `entry_cycle`: fetch, decrypt, MAC,
-  /// queue deliveries; decide how fetch continues (sequential speculation,
-  /// decode-time direct jump, or wait for the execute side). Sets reset_ on
-  /// violations.
+  /// Process one whole block starting at `entry_cycle`: fetch, open it
+  /// through the protection scheme (decrypt + verify), replay the scheme's
+  /// cipher ops on the engine model, queue deliveries; decide how fetch
+  /// continues (sequential speculation, decode-time direct jump, or wait
+  /// for the execute side). Sets reset_ on violations.
   void process_block(std::uint32_t target_word, std::uint32_t prev_word,
                      std::uint64_t entry_cycle);
 
@@ -123,11 +124,9 @@ class SofiaFetch final : public FetchUnit {
   CipherEngine& engine_;
   const SimConfig& config_;
   std::uint32_t text_base_word_;
-  std::uint16_t omega_;
-  bool per_pair_;
-  std::unique_ptr<crypto::BlockCipher64> enc_;
-  std::unique_ptr<crypto::BlockCipher64> exec_mac_;
-  std::unique_ptr<crypto::BlockCipher64> mux_mac_;
+  /// The device side of config_.scheme, keyed with config_.keys and the
+  /// image's omega/granularity.
+  std::unique_ptr<scheme::Opener> opener_;
 
   std::deque<FetchedInst> staged_;  ///< decoded, time-stamped deliveries
   bool waiting_ = false;            ///< stopped at an indirect exit / halt

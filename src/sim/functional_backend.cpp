@@ -1,14 +1,11 @@
 #include "sim/functional_backend.hpp"
 
 #include <memory>
-#include <span>
 #include <unordered_map>
 #include <vector>
 
-#include "crypto/block_cipher.hpp"
-#include "crypto/cbc_mac.hpp"
-#include "crypto/ctr.hpp"
 #include "isa/isa.hpp"
+#include "scheme/scheme.hpp"
 #include "sim/memory.hpp"
 #include "support/bits.hpp"
 
@@ -30,11 +27,11 @@ class FunctionalMachine {
       : image_(image), config_(config) {
     mem_.load_image(image);
     regs_[isa::kRegSp] = image.stack_top;
-    if (image.sofia) {
-      enc_ = config.keys.encryption_cipher();
-      exec_mac_ = config.keys.exec_mac_cipher();
-      mux_mac_ = config.keys.mux_mac_cipher();
-    }
+    if (image.sofia)
+      opener_ = scheme::get_scheme(config.scheme)
+                    .make_opener(config.keys, image.omega,
+                                 image.per_pair ? crypto::Granularity::kPerPair
+                                                : crypto::Granularity::kPerWord);
   }
 
   RunResult run() {
@@ -133,71 +130,28 @@ class FunctionalMachine {
       blk.reset_pc = target_word * 4;
       return blk;
     }
-    const bool is_mux = offset != 0;
-    // Word indices fetched, in order (multiplexor path 1 starts at word 0
-    // and skips word 1; path 2 starts at word 1) — identical to SofiaFetch.
-    std::vector<std::uint32_t> sched;
-    if (!is_mux) {
-      for (std::uint32_t j = 0; j < b; ++j) sched.push_back(j);
-    } else if (offset == 1) {
-      sched.push_back(0);
-      for (std::uint32_t j = 2; j < b; ++j) sched.push_back(j);
-    } else {
-      for (std::uint32_t j = 1; j < b; ++j) sched.push_back(j);
-    }
+    // Fetch order, block type and multiplexor path — identical to SofiaFetch.
+    const scheme::EntryPath path = scheme::entry_path(offset, b);
 
     std::vector<std::uint32_t> raw(b, 0);
-    for (const std::uint32_t j : sched)
+    for (const std::uint32_t j : path.sched)
       raw[j] = apply_fault(mem_.load32((blk.base_word + j) * 4));
-    st.fetch_words += sched.size();
+    st.fetch_words += path.sched.size();
 
-    // ---- CTR decryption with control-flow-dependent counters ----
-    const std::uint32_t entry_word_index = sched.front();
+    // ---- open the block through the protection scheme ----
     const std::uint32_t base_word = blk.base_word;
-    auto prev_for = [&](std::uint32_t j) {
-      return j == entry_word_index ? prev_word : base_word + j - 1;
-    };
-    std::vector<std::uint32_t> plain(b, 0);
-    if (!image_.per_pair) {
-      for (const std::uint32_t j : sched) {
-        ++st.ctr_ops;
-        plain[j] = raw[j] ^ crypto::keystream32(*enc_, image_.omega,
-                                                prev_for(j), base_word + j);
-      }
-    } else {
-      const std::uint32_t body_start = is_mux ? 2 : 0;
-      if (is_mux) {
-        const std::uint32_t e = entry_word_index;
-        ++st.ctr_ops;
-        plain[e] = raw[e] ^ crypto::keystream32(*enc_, image_.omega, prev_word,
-                                                base_word + e);
-      }
-      for (std::uint32_t j = body_start; j < b; j += 2) {
-        ++st.ctr_ops;
-        const std::uint64_t ks = crypto::keystream64(
-            *enc_, image_.omega, j == 0 ? prev_word : base_word + j - 1,
-            base_word + j);
-        plain[j] = raw[j] ^ static_cast<std::uint32_t>(ks);
-        plain[j + 1] = raw[j + 1] ^ static_cast<std::uint32_t>(ks >> 32);
-      }
-    }
-
-    // ---- run-time CBC-MAC vs the stored tag ----
-    blk.first_inst = is_mux ? 3 : 2;
-    const std::uint32_t m1 = plain[entry_word_index];
-    const std::uint32_t m2 = plain[is_mux ? 2 : 1];
-    st.mac_words += 2;
-    const std::uint64_t stored_tag = (static_cast<std::uint64_t>(m2) << 32) | m1;
-    const std::span<const std::uint32_t> inst_words(plain.data() + blk.first_inst,
-                                                    b - blk.first_inst);
-    st.cbc_ops += (b - blk.first_inst + 1) / 2;
-    ++st.mac_verifications;
-    const auto& mac_cipher = is_mux ? *mux_mac_ : *exec_mac_;
-    if (crypto::cbc_mac64(mac_cipher, inst_words) != stored_tag) {
-      blk.cause = ResetCause::kMacMismatch;
+    const scheme::DeviceBlock dev = opener_->open(base_word, prev_word, path, raw);
+    st.ctr_ops += dev.decrypt_ops.size();
+    st.cbc_ops += dev.verify_ops.size();
+    st.mac_words += dev.header_words;
+    if (dev.performs_verify) ++st.mac_verifications;
+    blk.first_inst = dev.first_inst;
+    if (dev.verify_cause != ResetCause::kNone) {
+      blk.cause = dev.verify_cause;
       blk.reset_pc = base_word * 4;
       return blk;
     }
+    const std::vector<std::uint32_t>& plain = dev.plain;
 
     // ---- decode + placement rules, in SofiaFetch's check order ----
     for (std::uint32_t w = blk.first_inst; w < b; ++w) {
@@ -466,9 +420,8 @@ class FunctionalMachine {
   const assembler::LoadImage& image_;
   const SimConfig& config_;
   Memory mem_;
-  std::unique_ptr<crypto::BlockCipher64> enc_;
-  std::unique_ptr<crypto::BlockCipher64> exec_mac_;
-  std::unique_ptr<crypto::BlockCipher64> mux_mac_;
+  /// The device side of config_.scheme (null for vanilla images).
+  std::unique_ptr<scheme::Opener> opener_;
   std::unordered_map<std::uint64_t, Block> cache_;
   Block scratch_;  ///< fault-injection runs bypass the cache
   bool text_dirty_ = false;  ///< store hit text; clear cache_ between blocks

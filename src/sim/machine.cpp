@@ -21,6 +21,7 @@ std::string_view to_string(ResetCause cause) {
     case ResetCause::kRestrictedStore: return "restricted-store";
     case ResetCause::kIllegalExit: return "illegal-exit";
     case ResetCause::kIllegalInstruction: return "illegal-instruction";
+    case ResetCause::kStateCorruption: return "state-corruption";
   }
   return "?";
 }

@@ -1,7 +1,6 @@
 #include "xform/transform.hpp"
 
 #include "cfg/cfg.hpp"
-#include "crypto/cbc_mac.hpp"
 #include "support/error.hpp"
 #include "xform/normalize.hpp"
 
@@ -12,69 +11,34 @@ using assembler::Program;
 
 namespace {
 
-/// MAC words at the head of a block: [M1, M2] for an execution block,
-/// [M1, M1, M2] for a multiplexor block (two entry copies of M1, §II-D).
-std::vector<std::uint32_t> mac_head(const Block& block, std::uint64_t tag) {
-  const std::uint32_t m1 = crypto::mac_word1(tag);
-  const std::uint32_t m2 = crypto::mac_word2(tag);
-  if (block.kind == BlockKind::kExec) return {m1, m2};
-  return {m1, m1, m2};
+/// The scheme-facing view of a laid-out block.
+scheme::BlockInfo block_info(const Block& block) {
+  scheme::BlockInfo info;
+  info.is_mux = block.kind == BlockKind::kMux;
+  info.base_word = block.base_word;
+  info.pred1_word = block.pred1_word;
+  info.pred2_word = block.pred2_word;
+  return info;
 }
 
-std::uint64_t block_mac(const Block& block, const crypto::BlockCipher64& exec_mac,
-                        const crypto::BlockCipher64& mux_mac) {
+std::vector<std::uint32_t> encoded_insts(const Block& block) {
   std::vector<std::uint32_t> insts;
   insts.reserve(block.insts.size());
   for (const PlacedInst& pi : block.insts) insts.push_back(isa::encode(pi.inst));
-  const auto& cipher =
-      block.kind == BlockKind::kExec ? exec_mac : mux_mac;
-  return crypto::cbc_mac64(cipher, insts);
-}
-
-/// prevPC (word address) used to decrypt block word index `j`.
-std::uint32_t prev_word_for(const Block& block, std::uint32_t j) {
-  if (j == 0) return block.pred1_word;
-  if (block.kind == BlockKind::kMux && j == 1) return block.pred2_word;
-  return block.base_word + j - 1;
-}
-
-void encrypt_block(const Block& block, std::vector<std::uint32_t>& words,
-                   const crypto::BlockCipher64& enc, std::uint16_t omega,
-                   crypto::Granularity gran) {
-  const auto n = static_cast<std::uint32_t>(words.size());
-  if (gran == crypto::Granularity::kPerWord) {
-    for (std::uint32_t j = 0; j < n; ++j) {
-      words[j] ^= crypto::keystream32(enc, omega, prev_word_for(block, j),
-                                      block.base_word + j);
-    }
-    return;
-  }
-  // Per-pair: multiplexor entry words are single-word granules (their
-  // predecessors differ); everything else pairs up on even offsets.
-  std::uint32_t j = 0;
-  if (block.kind == BlockKind::kMux) {
-    for (; j < 2; ++j)
-      words[j] ^= crypto::keystream32(enc, omega, prev_word_for(block, j),
-                                      block.base_word + j);
-  }
-  for (; j < n; j += 2) {
-    const std::uint64_t ks = crypto::keystream64(
-        enc, omega, prev_word_for(block, j), block.base_word + j);
-    words[j] ^= static_cast<std::uint32_t>(ks);
-    words[j + 1] ^= static_cast<std::uint32_t>(ks >> 32);
-  }
+  return insts;
 }
 
 }  // namespace
 
 std::vector<std::uint32_t> block_plaintext(const BlockLayout& layout,
                                            const Block& block,
-                                           const crypto::KeySet& keys) {
-  const auto exec_mac = keys.exec_mac_cipher();
-  const auto mux_mac = keys.mux_mac_cipher();
+                                           const crypto::KeySet& keys,
+                                           std::string_view scheme_name) {
+  const auto sealer =
+      scheme::get_scheme(scheme_name)
+          .make_sealer(keys, crypto::Granularity::kPerWord);
   std::vector<std::uint32_t> words =
-      mac_head(block, block_mac(block, *exec_mac, *mux_mac));
-  for (const PlacedInst& pi : block.insts) words.push_back(isa::encode(pi.inst));
+      sealer->plaintext(block_info(block), encoded_insts(block));
   if (words.size() != layout.policy().words_per_block)
     throw TransformError("transform: block word count mismatch");
   return words;
@@ -93,7 +57,8 @@ TransformResult transform(const Program& prog, const crypto::KeySet& keys,
       static_cast<std::uint32_t>(prog.text.size()) * 4;
   result.stats.text_bytes_out = result.layout.total_words() * 4;
 
-  const auto enc = keys.encryption_cipher();
+  const auto sealer =
+      scheme::get_scheme(opts.scheme).make_sealer(keys, opts.granularity);
 
   LoadImage& img = result.image;
   img.sofia = true;
@@ -108,8 +73,9 @@ TransformResult transform(const Program& prog, const crypto::KeySet& keys,
   img.text.reserve(result.layout.total_words());
   for (const Block& block : result.layout.blocks()) {
     std::vector<std::uint32_t> words =
-        block_plaintext(result.layout, block, keys);
-    encrypt_block(block, words, *enc, keys.omega, opts.granularity);
+        sealer->seal(block_info(block), encoded_insts(block));
+    if (words.size() != result.layout.policy().words_per_block)
+      throw TransformError("transform: block word count mismatch");
     img.text.insert(img.text.end(), words.begin(), words.end());
   }
 

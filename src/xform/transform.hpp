@@ -9,6 +9,7 @@
 #include "assembler/program.hpp"
 #include "crypto/ctr.hpp"
 #include "crypto/key_set.hpp"
+#include "scheme/scheme.hpp"
 #include "xform/block_policy.hpp"
 #include "xform/layout.hpp"
 
@@ -19,6 +20,9 @@ struct Options {
   /// Keystream granularity (see crypto/ctr.hpp). Per-word is Alg. 1's
   /// finest-grained semantics; per-pair matches the 64-bit-block hardware.
   crypto::Granularity granularity = crypto::Granularity::kPerWord;
+  /// Protection scheme sealing each block — a scheme::scheme_registry()
+  /// key. The device must run the same scheme (and keys) to open the image.
+  std::string scheme = std::string(scheme::kDefaultScheme);
   /// Drop statically unreachable code instead of packing it (a "toolchain
   /// optimization" in the paper's future-work sense). Off by default: the
   /// paper's transformation emits everything, and label references into
@@ -49,11 +53,11 @@ struct TransformResult {
 TransformResult transform(const assembler::Program& prog,
                           const crypto::KeySet& keys, const Options& opts = {});
 
-/// Plaintext words of one laid-out block (MAC words followed by encoded
+/// Plaintext words of one laid-out block (header words followed by encoded
 /// instructions) — the transformation's pre-encryption view, exposed for
 /// tests and the inspector example.
-std::vector<std::uint32_t> block_plaintext(const BlockLayout& layout,
-                                           const Block& block,
-                                           const crypto::KeySet& keys);
+std::vector<std::uint32_t> block_plaintext(
+    const BlockLayout& layout, const Block& block, const crypto::KeySet& keys,
+    std::string_view scheme = scheme::kDefaultScheme);
 
 }  // namespace sofia::xform

@@ -136,6 +136,8 @@ TEST(Sweep, FingerprintNamesEverySweptAxis) {
   EXPECT_NE(fp.find("cipher=RECTANGLE-80"), std::string::npos) << fp;
   EXPECT_NE(fp.find("icache=4096x32"), std::string::npos) << fp;
   EXPECT_NE(fp.find("unroll=7"), std::string::npos) << fp;
+  // The scheme axis is named unconditionally, even at its default.
+  EXPECT_NE(fp.find("scheme=sofia-cbcmac"), std::string::npos) << fp;
 }
 
 // ---------------------------------------------------------------------------
@@ -194,10 +196,11 @@ TEST(Sweep, JsonCarriesSchemaAndPerJobRecords) {
   spec.workloads = {"fib"};
   spec.configs.resize(1);
   const auto doc = driver::to_json(driver::run_sweep(spec, 1));
-  EXPECT_NE(doc.find("\"schema\": \"sofia-sweep-v3\""), std::string::npos);
+  EXPECT_NE(doc.find("\"schema\": \"sofia-sweep-v4\""), std::string::npos);
   EXPECT_NE(doc.find("\"sweep\": \"unit\""), std::string::npos);
   EXPECT_NE(doc.find("\"index\": 0"), std::string::npos);
   EXPECT_NE(doc.find("\"workload\": \"fib\""), std::string::npos);
+  EXPECT_NE(doc.find("\"scheme\": \"sofia-cbcmac\""), std::string::npos);
   EXPECT_NE(doc.find("\"backend\": \"cycle\""), std::string::npos);
   EXPECT_NE(doc.find("\"fingerprint\": \"gran=per-pair"), std::string::npos);
   EXPECT_NE(doc.find("\"cycles\""), std::string::npos);

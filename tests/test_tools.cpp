@@ -11,6 +11,9 @@
 #include <iterator>
 #include <string>
 
+#include "scheme/scheme.hpp"
+#include "sim/backend.hpp"
+
 #if !defined(SOFIA_ASM_BIN) || !defined(SOFIA_RUN_BIN) ||      \
     !defined(SOFIA_OBJDUMP_BIN) || !defined(SOFIA_REPORT_BIN) || \
     !defined(SOFIA_SWEEP_BIN) || !defined(SOFIA_WORKER_BIN) || \
@@ -193,7 +196,7 @@ TEST_F(Tools, SweepSmokeJsonIdenticalAcrossThreadCounts) {
   const auto doc1 = slurp(json1);
   EXPECT_FALSE(doc1.empty());
   EXPECT_EQ(doc1, slurp(json8));
-  EXPECT_NE(doc1.find("\"schema\": \"sofia-sweep-v3\""), std::string::npos);
+  EXPECT_NE(doc1.find("\"schema\": \"sofia-sweep-v4\""), std::string::npos);
   std::remove(json1.c_str());
   std::remove(json8.c_str());
 }
@@ -330,6 +333,33 @@ TEST_F(Tools, EveryToolPrintsHelp) {
   }
 }
 
+TEST_F(Tools, HelpStaysInSyncWithTheLiveRegistries) {
+  // The --backend/--scheme choice sets are built from sim::backend_names()
+  // and scheme::scheme_names() at tool startup, and cli::Parser renders
+  // every choice into --help. Registering a new backend or scheme must
+  // surface in the user-facing help with no tool edits — this test fails
+  // if a tool ever goes back to a hard-coded list.
+  for (const char* tool : {SOFIA_RUN_BIN, SOFIA_SWEEP_BIN, SOFIA_REPORT_BIN,
+                           SOFIA_FLEET_BIN}) {
+    int code = 0;
+    const auto out = run_command(std::string(tool) + " --help", &code);
+    ASSERT_EQ(code, 0) << tool << ": " << out;
+    for (const auto& backend : sofia::sim::backend_names())
+      EXPECT_NE(out.find(backend), std::string::npos)
+          << tool << " --help does not list backend '" << backend << "'";
+    for (const auto& scheme : sofia::scheme::scheme_names())
+      EXPECT_NE(out.find(scheme), std::string::npos)
+          << tool << " --help does not list scheme '" << scheme << "'";
+  }
+  // sofia_asm carries --scheme only (it has no execution side).
+  int code = 0;
+  const auto out = run_command(std::string(SOFIA_ASM_BIN) + " --help", &code);
+  ASSERT_EQ(code, 0) << out;
+  for (const auto& scheme : sofia::scheme::scheme_names())
+    EXPECT_NE(out.find(scheme), std::string::npos)
+        << "sofia_asm --help does not list scheme '" << scheme << "'";
+}
+
 TEST_F(Tools, SweepShardMergeIsByteIdenticalToUnsharded) {
   // The multi-machine contract, end to end through the CLI: two shards run
   // separately, merged, must reproduce the unsharded document byte for
@@ -438,7 +468,7 @@ TEST_F(Tools, FleetStreamsMergedDocumentToStdoutByDefault) {
       "( " + std::string(SOFIA_FLEET_BIN) +
           " --smoke --workers 2 --threads 1 2>/dev/null )", &code);
   EXPECT_EQ(code, 0);
-  EXPECT_NE(doc.find("\"schema\": \"sofia-sweep-v3\""), std::string::npos)
+  EXPECT_NE(doc.find("\"schema\": \"sofia-sweep-v4\""), std::string::npos)
       << doc.substr(0, 200);
   EXPECT_EQ(doc.rfind("sweep ", 0), std::string::npos);  // no log lines mixed in
 }

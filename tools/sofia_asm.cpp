@@ -8,6 +8,7 @@
 
 #include "assembler/image_io.hpp"
 #include "pipeline/pipeline.hpp"
+#include "scheme/scheme.hpp"
 #include "support/cli.hpp"
 #include "support/error.hpp"
 
@@ -18,6 +19,7 @@ int main(int argc, char** argv) {
   bool quiet = false;
   std::string key_seed;
   std::string cipher = "rectangle80";
+  std::string scheme(scheme::kDefaultScheme);
   std::uint32_t block_words = 0;  // 0 = policy default
   std::uint32_t store_min = ~0u;  // ~0 = policy default
   std::string input;
@@ -27,6 +29,9 @@ int main(int argc, char** argv) {
                      "assemble an SR32 source file into a loadable image");
   parser.flag("--vanilla", vanilla, "skip the SOFIA transform (baseline binary)")
       .choice("--cipher", cipher, {"rectangle80", "speck64"}, "device cipher")
+      .choice("--scheme", scheme, scheme::scheme_names(),
+              "protection scheme sealing each block (the device must run "
+              "the same one)")
       .option("--key-seed", key_seed, "n",
               "derive the device KeySet from a seed (default: example keys)")
       .flag("--per-word", per_word, "Alg. 1 per-word CTR (default: per-pair)")
@@ -46,6 +51,7 @@ int main(int argc, char** argv) {
         return parser.fail("--key-seed: invalid number '" + key_seed + "'");
       profile = pipeline::DeviceProfile::from_seed(profile.cipher, seed);
     }
+    profile.scheme = scheme;  // already validated by the choice flag
     profile.granularity = per_word ? crypto::Granularity::kPerWord
                                    : crypto::Granularity::kPerPair;
     if (block_words != 0) profile.policy.words_per_block = block_words;

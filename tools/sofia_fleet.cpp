@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "driver/sweep.hpp"
+#include "scheme/scheme.hpp"
 #include "sim/backend.hpp"
 #include "support/cli.hpp"
 #include "support/error.hpp"
@@ -62,6 +63,7 @@ int main(int argc, char** argv) {
   using namespace sofia;
   std::string matrix_name = "suite-overhead";
   std::string backend(sim::kDefaultBackend);
+  std::string scheme;  // empty = keep each cell's own scheme axis
   std::string launch;
   std::string json_path = "-";
   std::uint32_t workers = 2;
@@ -77,6 +79,9 @@ int main(int argc, char** argv) {
               "matrix to run (default: suite-overhead; sofia_sweep --list)")
       .choice("--backend", backend, sim::backend_names(),
               "execution backend every worker runs its jobs on")
+      .choice("--scheme", scheme, scheme::scheme_names(),
+              "force a protection scheme onto every job (default: keep "
+              "each matrix cell's own)")
       .option("--workers", workers, "N",
               "shard workers to launch (default: 2)")
       .option("--threads", threads, "N",
@@ -105,6 +110,7 @@ int main(int argc, char** argv) {
     driver::SweepSpec spec = driver::matrix(matrix_name);
     if (smoke) spec = driver::smoke(std::move(spec));
     spec = driver::with_backend(std::move(spec), backend);
+    if (!scheme.empty()) spec = driver::with_scheme(std::move(spec), scheme);
     const std::size_t total_jobs = driver::expand_jobs(spec).size();
     if (!quiet)
       std::fprintf(log,
@@ -118,7 +124,9 @@ int main(int argc, char** argv) {
     for (std::uint32_t k = 0; k < workers; ++k) {
       auto& shard = shards[k];
       shard.command = launch + " --matrix " + matrix_name +
-                      " --backend " + backend + (smoke ? " --smoke" : "") +
+                      " --backend " + backend +
+                      (scheme.empty() ? "" : " --scheme " + scheme) +
+                      (smoke ? " --smoke" : "") +
                       " --threads " + std::to_string(threads) + " --shard " +
                       std::to_string(k) + "/" + std::to_string(workers) +
                       " --quiet --json -";

@@ -9,6 +9,7 @@
 #include <string>
 
 #include "driver/sweep.hpp"
+#include "scheme/scheme.hpp"
 #include "security/attacks.hpp"
 #include "security/forgery.hpp"
 #include "sim/backend.hpp"
@@ -20,6 +21,7 @@ int main(int argc, char** argv) {
   bool quick = false;
   std::uint32_t threads = 1;
   std::string backend(sim::kDefaultBackend);
+  std::string scheme(scheme::kDefaultScheme);
 
   cli::Parser parser("sofia_report",
                      "one-command paper-vs-measured health report");
@@ -28,7 +30,10 @@ int main(int argc, char** argv) {
               "worker threads for the measurements (default 1)")
       .choice("--backend", backend, sim::backend_names(),
               "execution backend for the ADPCM measurement (functional "
-              "checks integrity only; its cycle numbers are not timing)");
+              "checks integrity only; its cycle numbers are not timing)")
+      .choice("--scheme", scheme, scheme::scheme_names(),
+              "protection scheme for the ADPCM measurement (the paper "
+              "targets are sofia-cbcmac numbers)");
   parser.parse_or_exit(argc, argv);
   if (threads < 1) return parser.fail("--threads must be >= 1");
   const std::uint32_t samples = quick ? 1024 : 8192;
@@ -66,6 +71,7 @@ int main(int argc, char** argv) {
   adpcm.base_seed = 1;  // the paper-comparison waveform
   adpcm.configs = {driver::paper_default_config()};
   adpcm = driver::with_backend(std::move(adpcm), backend);
+  adpcm = driver::with_scheme(std::move(adpcm), scheme);
   const auto sweep = driver::run_sweep(adpcm, threads);
   if (!sweep.all_ok()) {
     for (const auto& job : sweep.jobs)

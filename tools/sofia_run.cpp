@@ -7,6 +7,7 @@
 #include <string>
 
 #include "pipeline/pipeline.hpp"
+#include "scheme/scheme.hpp"
 #include "sim/backend.hpp"
 #include "support/cli.hpp"
 #include "support/error.hpp"
@@ -15,6 +16,7 @@ int main(int argc, char** argv) {
   using namespace sofia;
   std::string key_seed;
   std::string cipher = "rectangle80";
+  std::string scheme(scheme::kDefaultScheme);
   std::string backend(sim::kDefaultBackend);
   std::string worker;
   std::string worker_backend;  // empty = $SOFIA_WORKER_BACKEND, then cycle
@@ -22,11 +24,18 @@ int main(int argc, char** argv) {
   std::uint64_t max_cycles = 0;
   std::string path;
 
+  // A remote worker's far side must be a local backend ("remote" recurses).
+  auto local_backends = sim::backend_names();
+  std::erase(local_backends, "remote");
+
   cli::Parser parser("sofia_run",
                      "execute a saved image on the simulated device");
   parser
       .choice("--cipher", cipher, {"rectangle80", "speck64"},
               "device cipher (must match sofia_asm's)")
+      .choice("--scheme", scheme, scheme::scheme_names(),
+              "protection scheme the device implements (must match "
+              "sofia_asm's)")
       .choice("--backend", backend, sim::backend_names(),
               "execution backend: cycle = paper-faithful timing, "
               "functional = fast architectural run, remote = ship to a "
@@ -34,7 +43,7 @@ int main(int argc, char** argv) {
       .option("--worker", worker, "CMD",
               "worker launch command for --backend remote (sh -c; e.g. "
               "'ssh host sofia_worker'; default: $SOFIA_WORKER)")
-      .choice("--worker-backend", worker_backend, {"cycle", "functional"},
+      .choice("--worker-backend", worker_backend, local_backends,
               "backend the remote worker executes on (default: "
               "$SOFIA_WORKER_BACKEND, then cycle)")
       .option("--key-seed", key_seed, "n",
@@ -58,7 +67,8 @@ int main(int argc, char** argv) {
         return parser.fail("--key-seed: invalid number '" + key_seed + "'");
       profile = pipeline::DeviceProfile::from_seed(profile.cipher, seed);
     }
-    profile.backend = backend;  // already validated by the choice flag
+    profile.scheme = scheme;    // already validated by the choice flag
+    profile.backend = backend;  // ditto
     if (!worker.empty()) {
       profile.remote = pipeline::DeviceProfile::parse_worker(worker,
                                                              worker_backend);
@@ -80,6 +90,8 @@ int main(int argc, char** argv) {
     if (!run.output.empty()) std::fputs(run.output.c_str(), stdout);
     std::printf("[%s core] status=%s", image.sofia ? "SOFIA" : "vanilla",
                 to_string(run.status).data());
+    if (scheme != scheme::kDefaultScheme)
+      std::printf(" scheme=%s", scheme.c_str());
     if (backend != sim::kDefaultBackend)
       std::printf(" backend=%s", backend.c_str());
     if (run.status == sim::RunResult::Status::kExited)

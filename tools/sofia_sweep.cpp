@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "driver/sweep.hpp"
+#include "scheme/scheme.hpp"
 #include "sim/backend.hpp"
 #include "support/cli.hpp"
 #include "support/error.hpp"
@@ -25,6 +26,7 @@ int main(int argc, char** argv) {
   using namespace sofia;
   std::string matrix_name = "suite-overhead";
   std::string backend(sim::kDefaultBackend);
+  std::string scheme;  // empty = keep each cell's own scheme axis
   std::string json_path;
   std::string shard_text;
   std::string merge_out;
@@ -42,6 +44,9 @@ int main(int argc, char** argv) {
       .choice("--backend", backend, sofia::sim::backend_names(),
               "execution backend for every job (functional = fast "
               "architectural prefilter, no timing)")
+      .choice("--scheme", scheme, scheme::scheme_names(),
+              "force a protection scheme onto every job (default: keep "
+              "each matrix cell's own, e.g. the scheme matrix's axis)")
       .option("--threads", threads, "N",
               "worker threads (default: hardware concurrency)")
       .option("--json", json_path, "PATH",
@@ -90,6 +95,9 @@ int main(int argc, char** argv) {
     driver::SweepSpec spec = driver::matrix(matrix_name);
     if (smoke) spec = driver::smoke(std::move(spec));
     spec = driver::with_backend(std::move(spec), backend);
+    // choice() only validates when the flag is passed; the empty default
+    // means "leave the matrix's per-cell scheme axis alone".
+    if (!scheme.empty()) spec = driver::with_scheme(std::move(spec), scheme);
     const auto jobs = driver::expand_jobs(spec);
     if (shard.is_whole()) {
       std::fprintf(log, "sweep %-20s %zu jobs on %u thread(s)\n",
