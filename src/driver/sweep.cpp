@@ -70,6 +70,7 @@ std::vector<JobSpec> expand_jobs(const SweepSpec& spec) {
       job.size = size;
       job.seed = spec.vary_seed ? spec.base_seed + job.index : spec.base_seed;
       job.config = config;
+      job.lint = spec.lint;
       jobs.push_back(std::move(job));
     }
   }
@@ -112,8 +113,31 @@ JobResult run_job(const JobSpec& job) {
   JobResult result;
   result.job = job;
   try {
-    result.m = bench::measure_workload(workloads::workload(job.workload),
-                                       job.seed, job.size, job.config.opts);
+    const auto& wl = workloads::workload(job.workload);
+    if (job.lint) {
+      // Lint prefilter: verify the hardened image statically and fail the
+      // job before either device run; the same session then measures, so
+      // the transform is not repeated.
+      auto p = pipeline::Pipeline::from_workload(wl, job.seed, job.size,
+                                                 job.config.opts.profile);
+      p.set_sim_config(job.config.opts.config);
+      p.set_memory_layout(job.config.opts.mem);
+      const verify::Report report = p.lint();
+      if (!report.clean()) {
+        for (const auto& f : report.findings)
+          if (f.severity == verify::Severity::kError)
+            result.lint.push_back(f);
+        result.error =
+            "lint: " + std::to_string(result.lint.size()) +
+            " error-severity finding(s), first: " +
+            std::string(verify::to_string(result.lint.front().rule));
+        return result;
+      }
+      result.m = p.measure();
+    } else {
+      result.m = bench::measure_workload(wl, job.seed, job.size,
+                                         job.config.opts);
+    }
     result.ok = true;
   } catch (const std::exception& e) {
     result.error = e.what();
@@ -180,7 +204,7 @@ std::string to_json(const SweepResult& result) {
   const hw::HwModel model;
   json::Writer w(2);
   w.begin_object();
-  w.member("schema", "sofia-sweep-v4");
+  w.member("schema", "sofia-sweep-v5");
   w.member("sweep", result.sweep_name);
   w.member("job_count", static_cast<std::uint64_t>(
                             result.total_jobs ? result.total_jobs
@@ -202,6 +226,19 @@ std::string to_json(const SweepResult& result) {
     w.member("ok", r.ok);
     if (!r.ok) {
       w.member("error", r.error);
+      if (!r.lint.empty()) {
+        w.key("lint").begin_array();
+        for (const auto& f : r.lint) {
+          w.begin_object();
+          w.member("rule", verify::to_string(f.rule));
+          w.member("severity", verify::to_string(f.severity));
+          w.member("block", static_cast<std::int64_t>(f.block));
+          w.member("insn", static_cast<std::int64_t>(f.insn));
+          w.member("message", f.message);
+          w.end_object();
+        }
+        w.end_array();
+      }
     } else {
       w.key("vanilla").begin_object();
       w.member("cycles", r.m.vanilla_cycles);
@@ -245,8 +282,8 @@ std::string merge_json(const std::vector<std::string>& documents) {
     const auto& doc = parsed.back();
     const auto label = "document " + std::to_string(d);
     const auto* schema = doc.find("schema");
-    if (schema == nullptr || schema->as_string("schema") != "sofia-sweep-v4")
-      throw Error("merge: " + label + " is not a sofia-sweep-v4 document");
+    if (schema == nullptr || schema->as_string("schema") != "sofia-sweep-v5")
+      throw Error("merge: " + label + " is not a sofia-sweep-v5 document");
     const auto* sweep = doc.find("sweep");
     const auto* count = doc.find("job_count");
     const auto* jobs = doc.find("jobs");
@@ -288,7 +325,7 @@ std::string merge_json(const std::vector<std::string>& documents) {
   // byte.
   json::Writer w(2);
   w.begin_object();
-  w.member("schema", "sofia-sweep-v4");
+  w.member("schema", "sofia-sweep-v5");
   w.member("sweep", sweep_name);
   w.member("job_count", total);
   w.key("jobs").begin_array();

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "support/measure.hpp"
+#include "verify/verify.hpp"
 
 namespace sofia::driver {
 
@@ -58,6 +59,10 @@ struct SweepSpec {
   /// uses base_seed — the mode for reproducing the paper's fixed-input
   /// numbers.
   bool vary_seed = false;
+  /// Statically lint each job's hardened image (Pipeline::lint()) before
+  /// the device runs; a finding fails the job early with the findings in
+  /// its JSON record instead of wasting a vanilla+SOFIA execution pair.
+  bool lint = false;
 
   /// All workload names resolved (expands the empty-means-all shorthand).
   std::vector<std::string> resolved_workloads() const;
@@ -70,6 +75,7 @@ struct JobSpec {
   std::uint32_t size = 0;
   std::uint64_t seed = 0;
   ConfigPoint config;
+  bool lint = false;  ///< run the static lint prefilter (SweepSpec::lint)
 };
 
 /// Deterministic matrix expansion (also fixes each job's seed).
@@ -80,6 +86,9 @@ struct JobResult {
   bool ok = false;
   std::string error;       ///< what() of the failure when !ok
   bench::Measurement m;    ///< valid only when ok
+  /// Error-severity findings when the lint prefilter failed the job; they
+  /// land in the job's JSON record as a "lint" array.
+  std::vector<verify::Finding> lint;
 };
 
 /// One machine's slice of a multi-machine sweep: run only the jobs with

@@ -99,6 +99,7 @@ void Pipeline::set_memory_layout(assembler::MemoryLayout mem) {
   mem_ = mem;
   vanilla_image_.reset();
   hardened_.reset();
+  model_.reset();
   run_.reset();
   vanilla_run_.reset();
 }
@@ -106,6 +107,7 @@ void Pipeline::set_memory_layout(assembler::MemoryLayout mem) {
 void Pipeline::set_elide_unreachable(bool elide) {
   elide_unreachable_ = elide;
   hardened_.reset();
+  model_.reset();
   run_.reset();
 }
 
@@ -199,6 +201,31 @@ const sim::RunResult& Pipeline::run_vanilla() {
               [&] { vanilla_run_ = be.run(img, effective_sim_config()); });
   }
   return *vanilla_run_;
+}
+
+verify::DeviceSpec Pipeline::device_spec() const {
+  verify::DeviceSpec spec;
+  spec.keys = profile_.keys();
+  spec.scheme = profile_.scheme;
+  spec.granularity = profile_.granularity;
+  spec.policy = profile_.policy;
+  return spec;
+}
+
+verify::Report Pipeline::lint() { return lint_image(image()); }
+
+verify::Report Pipeline::lint_image(const assembler::LoadImage& img) {
+  // Image sessions have no program to model: the lint degrades to the
+  // metadata/geometry/key-material subset (documented on verify::lint).
+  if (loaded_image_ && !source_)
+    return run_stage("lint",
+                     [&] { return verify::lint(img, device_spec()); });
+  if (!model_) {
+    const auto& hard = hardened();
+    run_stage("lint", [&] { model_ = verify::model_of(hard); });
+  }
+  return run_stage(
+      "lint", [&] { return verify::lint(*model_, img, device_spec()); });
 }
 
 sim::RunResult Pipeline::run_image(const assembler::LoadImage& img) const {

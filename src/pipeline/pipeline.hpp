@@ -28,6 +28,7 @@
 #include "pipeline/device_profile.hpp"
 #include "sim/backend.hpp"
 #include "support/error.hpp"
+#include "verify/verify.hpp"
 #include "workloads/workloads.hpp"
 #include "xform/transform.hpp"
 
@@ -148,6 +149,21 @@ class Pipeline {
   /// never report numbers for a broken run (stage "measure").
   Measurement measure();
 
+  /// Statically verify the session's device binary against the full SOFIA
+  /// contract (stage "lint"): seals re-derived per scheme, edge/entry
+  /// consistency, block policy, metadata. Source/workload sessions check
+  /// against the transform's program model; image sessions get the
+  /// image-only metadata subset. Defects become findings, never throws.
+  verify::Report lint();
+
+  /// Lint an arbitrary image against this session's program model and
+  /// profile — the static counterpart of run_image() for tampered variants.
+  verify::Report lint_image(const assembler::LoadImage& img);
+
+  /// The verifier's view of this session's profile (keys + scheme +
+  /// granularity + policy).
+  verify::DeviceSpec device_spec() const;
+
   /// Execute an arbitrary image under this session's device configuration —
   /// the attack/fault harnesses use it to run tampered variants of image().
   sim::RunResult run_image(const assembler::LoadImage& img) const;
@@ -192,6 +208,7 @@ class Pipeline {
   std::optional<assembler::Program> program_;
   std::optional<assembler::LoadImage> vanilla_image_;
   std::optional<xform::TransformResult> hardened_;
+  std::optional<verify::ProgramModel> model_;  ///< lint view of hardened_
   std::optional<assembler::LoadImage> loaded_image_;  ///< image sessions
   std::optional<sim::RunResult> run_;
   std::optional<sim::RunResult> vanilla_run_;

@@ -1,0 +1,154 @@
+// Builds the linter's trusted reference (ProgramModel) from a completed
+// transform: block geometry and declared predecessor words straight from
+// the layout, return targets from the normalized program's CFG (the link
+// register of every call site), and store hazards from straight-line
+// constant propagation over the placed (fixed-up) instructions.
+#include <algorithm>
+#include <array>
+#include <optional>
+#include <utility>
+
+#include "cfg/cfg.hpp"
+#include "support/error.hpp"
+#include "verify/verify.hpp"
+
+namespace sofia::verify {
+
+namespace {
+
+/// Constant propagation over one straight-line run: tracks registers whose
+/// value is statically known (r0, lui/ori/addi/add chains — the `la` and
+/// `li` expansions) and records every store whose base register is known.
+/// Runs never span a control transfer, so no merging is needed.
+class ConstProp {
+ public:
+  ConstProp() { known_[isa::kRegZero] = 0u; }
+
+  /// Feed one instruction (absolute word address + decoded form); returns
+  /// the effective address when it is a store with a known base.
+  std::optional<StoreHazard> step(std::uint32_t word_addr,
+                                  const isa::Instruction& in) {
+    if (isa::is_store(in.op)) {
+      if (!known_[in.ra]) return std::nullopt;
+      return StoreHazard{word_addr, *known_[in.ra] +
+                                        static_cast<std::uint32_t>(in.imm)};
+    }
+    if (!isa::writes_rd(in.op) || in.rd == isa::kRegZero) return std::nullopt;
+    std::optional<std::uint32_t> v;
+    const auto ra = known_[in.ra];
+    const auto imm = static_cast<std::uint32_t>(in.imm);
+    switch (in.op) {
+      case isa::Opcode::kLui: v = imm << 14; break;
+      case isa::Opcode::kOri: if (ra) v = *ra | imm; break;
+      case isa::Opcode::kXori: if (ra) v = *ra ^ imm; break;
+      case isa::Opcode::kAndi: if (ra) v = *ra & imm; break;
+      case isa::Opcode::kAddi: if (ra) v = *ra + imm; break;
+      case isa::Opcode::kAdd:
+        if (ra && known_[in.rb]) v = *ra + *known_[in.rb];
+        break;
+      default: break;  // anything else makes rd unknown
+    }
+    known_[in.rd] = v;
+    return std::nullopt;
+  }
+
+ private:
+  std::array<std::optional<std::uint32_t>, isa::kNumRegs> known_{};
+};
+
+}  // namespace
+
+ProgramModel model_of(const xform::TransformResult& t) {
+  const xform::BlockLayout& layout = t.layout;
+  const std::uint32_t b = layout.policy().words_per_block;
+
+  ProgramModel m;
+  m.policy = layout.policy();
+  m.text_base = layout.text_base_word() * 4;
+  m.entry = layout.entry_target_addr(layout.reset_entry());
+  m.entry_prev_word = assembler::kResetPrevWord;
+
+  m.blocks.reserve(layout.blocks().size());
+  for (const xform::Block& blk : layout.blocks()) {
+    ModelBlock mb;
+    mb.is_mux = blk.kind == xform::BlockKind::kMux;
+    mb.base_word = blk.base_word;
+    mb.pred1_word = blk.pred1_word;
+    mb.pred2_word = blk.pred2_word;
+    mb.synthesized = blk.synthesized;
+    mb.inst_words.reserve(blk.insts.size());
+    for (const xform::PlacedInst& pi : blk.insts)
+      mb.inst_words.push_back(isa::encode(pi.inst));
+    m.blocks.push_back(std::move(mb));
+  }
+
+  // The rest needs the same CFG the packer consumed. With unreachable code
+  // elided, some source instructions have no placement — their lookups
+  // throw, which simply excludes them from the model.
+  const cfg::Cfg g = cfg::Cfg::build(t.normalized);
+
+  const auto block_of = [&](std::uint32_t src) -> std::optional<std::uint32_t> {
+    try {
+      const std::uint32_t word = layout.block_base_addr(src) / 4;
+      return (word - layout.text_base_word()) / b;
+    } catch (const std::exception&) {
+      return std::nullopt;
+    }
+  };
+
+  // Return targets: a ret transfers to lr, and every call site linked
+  // lr = its own placed address + 4 (word 0 of the block after the call).
+  for (const cfg::FunctionInfo& fn : g.functions()) {
+    std::vector<std::uint32_t> targets;
+    for (const std::uint32_t call : fn.call_sites) {
+      try {
+        targets.push_back(layout.placed_addr(call) + 4);
+      } catch (const std::exception&) {
+        // call site inside elided code
+      }
+    }
+    std::sort(targets.begin(), targets.end());
+    targets.erase(std::unique(targets.begin(), targets.end()), targets.end());
+    if (targets.empty()) continue;
+    for (const std::uint32_t r : fn.rets)
+      if (const auto blk = block_of(r)) m.blocks[*blk].ret_targets = targets;
+  }
+
+  // Store hazards: propagate constants through each run using the *placed*
+  // instructions (their immediates carry the post-layout address fixups;
+  // the normalized program's do not). The placed word of a source
+  // instruction maps back into the model block built above.
+  const auto placed_inst = [&](std::uint32_t src)
+      -> std::optional<std::pair<std::uint32_t, isa::Instruction>> {
+    try {
+      const std::uint32_t word = layout.placed_addr(src) / 4;
+      const std::uint32_t rel = word - layout.text_base_word();
+      const ModelBlock& mb = m.blocks[rel / b];
+      const std::uint32_t header =
+          b - static_cast<std::uint32_t>(mb.inst_words.size());
+      const auto inst = isa::decode(mb.inst_words[rel % b - header]);
+      if (!inst) return std::nullopt;
+      return std::make_pair(word, *inst);
+    } catch (const std::exception&) {
+      return std::nullopt;
+    }
+  };
+
+  for (const std::uint32_t leader : g.leaders()) {
+    ConstProp prop;
+    for (std::uint32_t i = leader; i < g.run_end(leader); ++i) {
+      const auto pi = placed_inst(i);
+      if (!pi) break;  // elided run
+      if (const auto hazard = prop.step(pi->first, pi->second))
+        m.store_hazards.push_back(*hazard);
+    }
+  }
+  std::sort(m.store_hazards.begin(), m.store_hazards.end(),
+            [](const StoreHazard& a, const StoreHazard& b2) {
+              return a.word_addr < b2.word_addr;
+            });
+
+  return m;
+}
+
+}  // namespace sofia::verify

@@ -196,7 +196,7 @@ TEST(Sweep, JsonCarriesSchemaAndPerJobRecords) {
   spec.workloads = {"fib"};
   spec.configs.resize(1);
   const auto doc = driver::to_json(driver::run_sweep(spec, 1));
-  EXPECT_NE(doc.find("\"schema\": \"sofia-sweep-v4\""), std::string::npos);
+  EXPECT_NE(doc.find("\"schema\": \"sofia-sweep-v5\""), std::string::npos);
   EXPECT_NE(doc.find("\"sweep\": \"unit\""), std::string::npos);
   EXPECT_NE(doc.find("\"index\": 0"), std::string::npos);
   EXPECT_NE(doc.find("\"workload\": \"fib\""), std::string::npos);

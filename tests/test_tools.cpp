@@ -17,11 +17,11 @@
 #if !defined(SOFIA_ASM_BIN) || !defined(SOFIA_RUN_BIN) ||      \
     !defined(SOFIA_OBJDUMP_BIN) || !defined(SOFIA_REPORT_BIN) || \
     !defined(SOFIA_SWEEP_BIN) || !defined(SOFIA_WORKER_BIN) || \
-    !defined(SOFIA_FLEET_BIN)
+    !defined(SOFIA_FLEET_BIN) || !defined(SOFIA_LINT_BIN)
 #error "SOFIA_ASM_BIN / SOFIA_RUN_BIN / SOFIA_OBJDUMP_BIN / SOFIA_REPORT_BIN \
-/ SOFIA_SWEEP_BIN / SOFIA_WORKER_BIN / SOFIA_FLEET_BIN must be injected by \
-the build: configure with -DSOFIA_BUILD_TOOLS=ON so tests/CMakeLists.txt can \
-define them from $<TARGET_FILE:...>"
+/ SOFIA_SWEEP_BIN / SOFIA_WORKER_BIN / SOFIA_FLEET_BIN / SOFIA_LINT_BIN must \
+be injected by the build: configure with -DSOFIA_BUILD_TOOLS=ON so \
+tests/CMakeLists.txt can define them from $<TARGET_FILE:...>"
 #endif
 
 namespace {
@@ -196,7 +196,7 @@ TEST_F(Tools, SweepSmokeJsonIdenticalAcrossThreadCounts) {
   const auto doc1 = slurp(json1);
   EXPECT_FALSE(doc1.empty());
   EXPECT_EQ(doc1, slurp(json8));
-  EXPECT_NE(doc1.find("\"schema\": \"sofia-sweep-v4\""), std::string::npos);
+  EXPECT_NE(doc1.find("\"schema\": \"sofia-sweep-v5\""), std::string::npos);
   std::remove(json1.c_str());
   std::remove(json8.c_str());
 }
@@ -309,10 +309,10 @@ TEST_F(Tools, UnknownCipherRejected) {
 
 TEST_F(Tools, EveryToolRejectsUnknownFlagsWithUsage) {
   // The shared CLI layer: unknown flag -> diagnostic + usage, exit 2,
-  // uniformly across all seven front-ends.
+  // uniformly across all eight front-ends.
   for (const char* tool : {SOFIA_ASM_BIN, SOFIA_RUN_BIN, SOFIA_OBJDUMP_BIN,
                            SOFIA_REPORT_BIN, SOFIA_SWEEP_BIN, SOFIA_WORKER_BIN,
-                           SOFIA_FLEET_BIN}) {
+                           SOFIA_FLEET_BIN, SOFIA_LINT_BIN}) {
     int code = 0;
     const auto out = run_command(std::string(tool) + " --frobnicate", &code);
     EXPECT_EQ(code, 2) << tool << ": " << out;
@@ -325,7 +325,7 @@ TEST_F(Tools, EveryToolRejectsUnknownFlagsWithUsage) {
 TEST_F(Tools, EveryToolPrintsHelp) {
   for (const char* tool : {SOFIA_ASM_BIN, SOFIA_RUN_BIN, SOFIA_OBJDUMP_BIN,
                            SOFIA_REPORT_BIN, SOFIA_SWEEP_BIN, SOFIA_WORKER_BIN,
-                           SOFIA_FLEET_BIN}) {
+                           SOFIA_FLEET_BIN, SOFIA_LINT_BIN}) {
     int code = 0;
     const auto out = run_command(std::string(tool) + " --help", &code);
     EXPECT_EQ(code, 0) << tool << ": " << out;
@@ -468,7 +468,7 @@ TEST_F(Tools, FleetStreamsMergedDocumentToStdoutByDefault) {
       "( " + std::string(SOFIA_FLEET_BIN) +
           " --smoke --workers 2 --threads 1 2>/dev/null )", &code);
   EXPECT_EQ(code, 0);
-  EXPECT_NE(doc.find("\"schema\": \"sofia-sweep-v4\""), std::string::npos)
+  EXPECT_NE(doc.find("\"schema\": \"sofia-sweep-v5\""), std::string::npos)
       << doc.substr(0, 200);
   EXPECT_EQ(doc.rfind("sweep ", 0), std::string::npos);  // no log lines mixed in
 }
@@ -510,6 +510,122 @@ TEST_F(Tools, WorkerServesARemoteRunForSofiaRun) {
       &code);
   EXPECT_EQ(code, 2) << bad;
   EXPECT_NE(bad.find("--worker-backend"), std::string::npos) << bad;
+}
+
+TEST_F(Tools, LintCleanWorkloadAssertsClean) {
+  int code = 0;
+  const auto out = run_command(
+      std::string(SOFIA_LINT_BIN) + " --workload fib --size 8 --assert-clean",
+      &code);
+  EXPECT_EQ(code, 0) << out;
+  EXPECT_NE(out.find("0 error(s)"), std::string::npos) << out;
+}
+
+TEST_F(Tools, LintSourceFileAndSavedImage) {
+  int code = 0;
+  run_command(std::string(SOFIA_ASM_BIN) + " --quiet --key-seed 5 " + src_ +
+                  " " + img_, &code);
+  ASSERT_EQ(code, 0);
+  // The saved image against its program and key material: clean.
+  const auto out = run_command(std::string(SOFIA_LINT_BIN) + " --key-seed 5 " +
+                                   src_ + " --image " + img_ +
+                                   " --assert-clean", &code);
+  EXPECT_EQ(code, 0) << out;
+  // The same image under the wrong keys: --assert-clean exits 1. Seed-
+  // derived key sets carry their own omega, so the version nonce is the
+  // first cross-check that trips.
+  const auto bad = run_command(std::string(SOFIA_LINT_BIN) + " --key-seed 6 " +
+                                   src_ + " --image " + img_ +
+                                   " --assert-clean", &code);
+  EXPECT_EQ(code, 1) << bad;
+  EXPECT_NE(bad.find("omega-mismatch"), std::string::npos) << bad;
+}
+
+TEST_F(Tools, LintFlagsTamperedImage) {
+  int code = 0;
+  run_command(std::string(SOFIA_ASM_BIN) + " --quiet --key-seed 5 " + src_ +
+                  " " + img_, &code);
+  ASSERT_EQ(code, 0);
+  // Swap two ciphertext words across blocks. The swap preserves the image
+  // file's byte-sum checksum, so the tamper survives loading and must be
+  // caught by the lint, not the file format.
+  {
+    std::fstream f(img_, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.good());
+    const long header = 40;  // sofia image header, then text words
+    char a[4], b[4];
+    f.seekg(header + 4 * 2);
+    f.read(a, 4);
+    f.seekg(header + 4 * 10);
+    f.read(b, 4);
+    f.seekp(header + 4 * 2);
+    f.write(b, 4);
+    f.seekp(header + 4 * 10);
+    f.write(a, 4);
+  }
+  const auto out = run_command(std::string(SOFIA_LINT_BIN) + " --key-seed 5 " +
+                                   src_ + " --image " + img_ +
+                                   " --assert-clean", &code);
+  EXPECT_EQ(code, 1) << out;
+  EXPECT_NE(out.find("error["), std::string::npos) << out;
+}
+
+TEST_F(Tools, LintJsonIsDeterministic) {
+  int code = 0;
+  const std::string cmd = std::string(SOFIA_LINT_BIN) +
+                          " --workload crc32 --size 16 --quiet --json -";
+  const auto doc1 = run_command(cmd, &code);
+  EXPECT_EQ(code, 0) << doc1;
+  const auto doc2 = run_command(cmd, &code);
+  EXPECT_EQ(code, 0);
+  EXPECT_EQ(doc1, doc2);
+  EXPECT_NE(doc1.find("\"schema\": \"sofia-lint-v1\""), std::string::npos)
+      << doc1;
+  EXPECT_NE(doc1.find("\"clean\": true"), std::string::npos) << doc1;
+}
+
+TEST_F(Tools, LintPrintsRuleCatalog) {
+  int code = 0;
+  const auto out = run_command(std::string(SOFIA_LINT_BIN) + " --rules", &code);
+  EXPECT_EQ(code, 0);
+  EXPECT_NE(out.find("edge-seal-mismatch"), std::string::npos) << out;
+  EXPECT_NE(out.find("unreachable-block"), std::string::npos) << out;
+}
+
+TEST_F(Tools, LintRejectsEmptyAndConflictingInputs) {
+  int code = 0;
+  const auto none = run_command(std::string(SOFIA_LINT_BIN), &code);
+  EXPECT_EQ(code, 2) << none;
+  EXPECT_NE(none.find("nothing to lint"), std::string::npos) << none;
+  const auto both = run_command(
+      std::string(SOFIA_LINT_BIN) + " --workload fib " + src_, &code);
+  EXPECT_EQ(code, 2) << both;
+}
+
+TEST_F(Tools, SweepLintPrefilterKeepsTheDocumentIdentical) {
+  // A clean matrix must produce byte-identical documents with and without
+  // the --lint prefilter (lint only adds to *failing* job records).
+  int code = 0;
+  const std::string tag = std::to_string(getpid());
+  const std::string plain = "/tmp/sofia_lint_sweep_" + tag + "_a.json";
+  const std::string linted = "/tmp/sofia_lint_sweep_" + tag + "_b.json";
+  run_command(std::string(SOFIA_SWEEP_BIN) +
+                  " --smoke --quiet --threads 2 --json " + plain, &code);
+  EXPECT_EQ(code, 0);
+  run_command(std::string(SOFIA_SWEEP_BIN) +
+                  " --smoke --lint --quiet --threads 2 --json " + linted,
+              &code);
+  EXPECT_EQ(code, 0);
+  const auto slurp = [](const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+  };
+  const auto doc = slurp(plain);
+  EXPECT_FALSE(doc.empty());
+  EXPECT_EQ(doc, slurp(linted));
+  std::remove(plain.c_str());
+  std::remove(linted.c_str());
 }
 
 TEST_F(Tools, SweepListsMatricesAndRejectsUnknown) {

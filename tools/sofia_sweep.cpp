@@ -33,6 +33,7 @@ int main(int argc, char** argv) {
   std::vector<std::string> merge_inputs;
   std::uint32_t threads = std::max(1u, std::thread::hardware_concurrency());
   bool smoke = false;
+  bool lint = false;
   bool quiet = false;
   bool list = false;
 
@@ -56,6 +57,9 @@ int main(int argc, char** argv) {
       .option("--merge", merge_out, "OUT.json",
               "merge shard documents (trailing args) into OUT.json and exit")
       .flag("--smoke", smoke, "shrink the matrix to a seconds-long smoke run")
+      .flag("--lint", lint,
+            "statically lint each hardened image first; findings fail the "
+            "job early and land in its JSON record")
       .flag("--list", list, "list the built-in matrices and exit")
       .flag("--quiet", quiet, "suppress the per-job progress table")
       .positional_list("in.json", merge_inputs);
@@ -98,6 +102,7 @@ int main(int argc, char** argv) {
     // choice() only validates when the flag is passed; the empty default
     // means "leave the matrix's per-cell scheme axis alone".
     if (!scheme.empty()) spec = driver::with_scheme(std::move(spec), scheme);
+    spec.lint = lint;
     const auto jobs = driver::expand_jobs(spec);
     if (shard.is_whole()) {
       std::fprintf(log, "sweep %-20s %zu jobs on %u thread(s)\n",
