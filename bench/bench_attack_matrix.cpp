@@ -2,7 +2,8 @@
 // SOFIA device, run once per registered protection scheme, plus the ROP/JOP
 // demonstrations against both cores. `--json PATH` writes the full matrix
 // as a deterministic "sofia-attack-matrix-v2" document (fixed seeds, fixed
-// iteration order), so two runs diff byte-identically.
+// iteration order), so two runs diff byte-identically. `--json -` streams
+// the document to stdout (the human-readable matrix moves to stderr).
 //
 //   bench_attack_matrix [--flips N] [--json PATH]
 #include <cstdio>
@@ -34,8 +35,8 @@ struct SchemeRow {
   int flip_trials = 0;
 };
 
-void report(const security::AttackOutcome& o) {
-  std::printf("%-44s %-10s %-16s %8llu\n", o.name.c_str(),
+void report(std::FILE* log, const security::AttackOutcome& o) {
+  std::fprintf(log, "%-44s %-10s %-16s %8llu\n", o.name.c_str(),
               o.detected ? "yes" : (o.output_clean ? "no effect" : "NO"),
               o.detected ? std::string(to_string(o.run.reset.cause)).c_str()
                          : "-",
@@ -54,8 +55,13 @@ int main(int argc, char** argv) {
   parser
       .option("--flips", flip_count, "N",
               "random single-bit flip trials per scheme (default 200)")
-      .option("--json", json_path, "PATH", "write the matrix document");
+      .option("--json", json_path, "PATH",
+              "write the matrix document ('-' = stdout)");
   parser.parse_or_exit(argc, argv);
+
+  // With the document streaming on stdout, the human-readable matrix moves
+  // to stderr so the output stream stays byte-clean for collectors.
+  std::FILE* log = json_path == "-" ? stderr : stdout;
 
   const auto keys = bench::bench_keys();
   const char* victim = R"(
@@ -96,20 +102,20 @@ out: .word 0
     profile.scheme = row.scheme;
     security::AttackHarness harness(victim, profile);
 
-    std::printf("Attack matrix on the SOFIA device — scheme %s (%s)\n",
+    std::fprintf(log, "Attack matrix on the SOFIA device — scheme %s (%s)\n",
                 row.scheme.c_str(),
                 row.authenticated ? "authenticated" : "encrypt-only");
-    bench::print_rule(86);
-    std::printf("%-44s %-10s %-16s %8s\n", "attack", "detected", "cause",
+    bench::print_rule(log, 86);
+    std::fprintf(log, "%-44s %-10s %-16s %8s\n", "attack", "detected", "cause",
                 "at cycle");
-    bench::print_rule(86);
+    bench::print_rule(log, 86);
     row.attacks.push_back(harness.flip_bit(2, 9));
     row.attacks.push_back(harness.flip_bit(0, 30));
     row.attacks.push_back(harness.patch_word(4, 0x34000001));
     row.attacks.push_back(harness.relocate_word(3, 11));
     row.attacks.push_back(harness.splice_block(0, 2));
     row.attacks.push_back(harness.cross_version_splice(0xBEEF, 1));
-    for (const auto& o : row.attacks) report(o);
+    for (const auto& o : row.attacks) report(log, o);
 
     Rng rng(42);  // fresh per scheme: rows are independent of scheme order
     const auto flips =
@@ -122,8 +128,8 @@ out: .word 0
       else
         ++row.flips.breached;
     }
-    bench::print_rule(86);
-    std::printf(
+    bench::print_rule(log, 86);
+    std::fprintf(log, 
         "random single-bit flips: %d detected, %d dead-code (no effect), "
         "%d breached / %zu%s\n\n",
         row.flips.detected, row.flips.harmless, row.flips.breached,
@@ -133,31 +139,31 @@ out: .word 0
     rows.push_back(std::move(row));
   }
 
-  std::printf("ROP demonstration (return address smashed toward a store gadget)\n");
-  bench::print_rule(86);
+  std::fprintf(log, "ROP demonstration (return address smashed toward a store gadget)\n");
+  bench::print_rule(log, 86);
   const auto demo = security::run_rop_demo(keys);
   const bool rop_vanilla_breached =
       demo.vanilla_attacked.output.find("6666") != std::string::npos;
   const bool rop_detected =
       demo.sofia_attacked.status == sim::RunResult::Status::kReset;
-  std::printf("%-24s clean output: %-8s attacked: %s\n", "vanilla LEON3",
+  std::fprintf(log, "%-24s clean output: %-8s attacked: %s\n", "vanilla LEON3",
               "1111",
               rop_vanilla_breached ? "GADGET FIRED (6666)"
                                    : "gadget did not fire");
-  std::printf("%-24s clean output: %-8s attacked: %s (cause %s)\n", "SOFIA",
+  std::fprintf(log, "%-24s clean output: %-8s attacked: %s (cause %s)\n", "SOFIA",
               "1111", rop_detected ? "RESET before gadget" : "NOT DETECTED",
               std::string(to_string(demo.sofia_attacked.reset.cause)).c_str());
 
-  std::printf("\nJOP demonstration (function-pointer table overwritten in data)\n");
-  bench::print_rule(86);
+  std::fprintf(log, "\nJOP demonstration (function-pointer table overwritten in data)\n");
+  bench::print_rule(log, 86);
   const auto jop = security::run_jop_demo(keys);
   const bool jop_vanilla_breached =
       jop.vanilla_attacked.output.find("7777") != std::string::npos;
   const bool jop_trapped = jop.sofia_attacked.output.empty();
-  std::printf("%-24s attacked: %s\n", "vanilla LEON3",
+  std::fprintf(log, "%-24s attacked: %s\n", "vanilla LEON3",
               jop_vanilla_breached ? "GADGET FIRED (7777)"
                                    : "gadget did not fire");
-  std::printf("%-24s attacked: %s\n", "SOFIA",
+  std::fprintf(log, "%-24s attacked: %s\n", "SOFIA",
               jop_trapped ? "dispatch TRAP, gadget never ran"
                           : "NOT DETECTED");
 
@@ -201,8 +207,8 @@ out: .word 0
     w.member("sofia_trapped", jop_trapped);
     w.end_object();
     w.end_object();
-    io::write_file(json_path, w.str() + "\n");
-    std::printf("\nwrote %s\n", json_path.c_str());
+    io::emit_document(json_path, w.str() + "\n");
+    if (json_path != "-") std::fprintf(log, "\nwrote %s\n", json_path.c_str());
   }
 
   return (auth_breached == 0 && rop_detected && jop_trapped &&

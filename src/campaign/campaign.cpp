@@ -1,0 +1,650 @@
+#include "campaign/campaign.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <mutex>
+
+#include "driver/pool.hpp"
+#include "pipeline/pipeline.hpp"
+#include "scheme/scheme.hpp"
+#include "support/error.hpp"
+#include "support/json.hpp"
+#include "workloads/workloads.hpp"
+
+namespace sofia::campaign {
+
+namespace {
+
+// The built-in victim: a loop of calls (mux-entry blocks), a devirtualized
+// function-pointer dispatch, and observable stores — enough block variety
+// that every mutator kind can land on live structure.
+constexpr char kBuiltinVictim[] = R"(
+main:
+  li r1, 0
+  li r2, 12
+loop:
+  call work
+  addi r2, r2, -1
+  bnez r2, loop
+  la r4, table
+  lw r5, 0(r4)
+  .targets inc, dec
+  jalr lr, r5
+  la r3, out
+  sw r1, 0(r3)
+  li r10, 0xFFFF0008
+  sw r1, 0(r10)
+  halt
+work:
+  addi r1, r1, 3
+  beqz r1, never
+  addi r1, r1, 1
+never:
+  ret
+inc:
+  addi r1, r1, 1
+  ret
+dec:
+  addi r1, r1, -1
+  ret
+.data
+table: .word inc, dec
+out: .word 0
+)";
+
+/// Tampered runs can loop on garbage; every trial gets a bounded budget.
+constexpr std::uint64_t kTrialBudget = 10'000'000;
+
+}  // namespace
+
+std::string CellSpec::label() const {
+  std::string out = scheme;
+  out += '/';
+  out += crypto::to_string(cipher);
+  out += '/';
+  out += crypto::to_string(granularity);
+  return out;
+}
+
+CampaignSpec default_campaign() {
+  CampaignSpec spec;
+  for (const auto& entry : scheme::scheme_registry()) {
+    const bool uses_gran = entry.get().traits().uses_granularity;
+    for (const auto cipher :
+         {crypto::CipherKind::kRectangle80, crypto::CipherKind::kSpeck64_128}) {
+      for (const auto gran :
+           {crypto::Granularity::kPerPair, crypto::Granularity::kPerWord}) {
+        // A scheme that ignores the granularity axis seals identical bytes
+        // for both values — one cell covers it.
+        if (gran == crypto::Granularity::kPerWord && !uses_gran) continue;
+        spec.cells.push_back(
+            CellSpec{std::string(entry.name), cipher, gran});
+      }
+    }
+  }
+  return spec;
+}
+
+CampaignSpec smoke(CampaignSpec spec) {
+  spec.name += "-smoke";
+  std::vector<CellSpec> kept;
+  for (const auto& cell : spec.cells) {
+    const bool seen = std::any_of(
+        kept.begin(), kept.end(),
+        [&](const CellSpec& k) { return k.scheme == cell.scheme; });
+    if (!seen) kept.push_back(cell);
+  }
+  spec.cells = std::move(kept);
+  return spec;
+}
+
+std::string_view to_string(TrialClass cls) {
+  switch (cls) {
+    case TrialClass::kDetected: return "detected";
+    case TrialClass::kHarmless: return "harmless";
+    case TrialClass::kEscaped: return "escaped";
+  }
+  return "?";
+}
+
+TrialClass classify(const sim::RunResult& run,
+                    const std::string& clean_output) {
+  if (run.status == sim::RunResult::Status::kReset) return TrialClass::kDetected;
+  if (run.ok() && run.output == clean_output) return TrialClass::kHarmless;
+  return TrialClass::kEscaped;
+}
+
+MutationRecord minimize(
+    const MutationRecord& record,
+    const std::function<TrialClass(const MutationRecord&)>& trial) {
+  MutationRecord current = record;
+  for (std::size_t i = 0; i < current.size();) {
+    if (current.size() == 1) break;  // already minimal; never try the empty record
+    MutationRecord candidate;
+    candidate.reserve(current.size() - 1);
+    for (std::size_t j = 0; j < current.size(); ++j)
+      if (j != i) candidate.push_back(current[j]);
+    if (trial(candidate) == TrialClass::kEscaped) {
+      current = std::move(candidate);  // the next element shifted into slot i
+    } else {
+      ++i;
+    }
+  }
+  return current;
+}
+
+double CellResult::detection_rate() const {
+  const std::uint64_t effective = detected + escaped;
+  if (effective == 0) return 1.0;
+  return static_cast<double>(detected) / static_cast<double>(effective);
+}
+
+std::uint64_t CampaignResult::jobs_run() const {
+  std::uint64_t total = 0;
+  for (const auto& cell : cells) total += cell.jobs;
+  return total;
+}
+
+bool CampaignResult::authenticated_clean() const {
+  return std::all_of(cells.begin(), cells.end(), [](const CellResult& c) {
+    return !c.authenticated || c.escapes.empty();
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Execution
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// One matrix cell's prepared attack surface: the victim transformed once,
+/// the donor build for cross-version splices, the clean-run baseline and
+/// the static-lint reference. All trial-time access is const.
+struct Fixture {
+  std::unique_ptr<pipeline::Pipeline> session;
+  assembler::LoadImage base_image;
+  std::string clean_output;
+  verify::ProgramModel model;
+  verify::DeviceSpec device_spec;
+  assembler::LoadImage donor;
+  ImageGeometry geometry;
+  sim::SimConfig base_config;
+
+  /// Built per call (never stored): a stored donor pointer would dangle
+  /// the moment the fixture moves into its slot.
+  ApplyContext ctx() const { return {geometry.words_per_block, &donor}; }
+};
+
+pipeline::DeviceProfile cell_profile(const CampaignSpec& spec,
+                                     const CellSpec& cell) {
+  auto profile = pipeline::DeviceProfile::from_seed(cell.cipher, spec.seed);
+  profile.granularity = cell.granularity;
+  profile.scheme = pipeline::DeviceProfile::parse_scheme(cell.scheme);
+  profile.backend = pipeline::DeviceProfile::parse_backend(spec.backend);
+  return profile;
+}
+
+std::unique_ptr<pipeline::Pipeline> victim_session(
+    const CampaignSpec& spec, const pipeline::DeviceProfile& profile,
+    const std::string& name) {
+  if (spec.workload.empty()) {
+    return std::make_unique<pipeline::Pipeline>(
+        pipeline::Pipeline::from_source(kBuiltinVictim, profile, name));
+  }
+  const auto& wl = workloads::workload(spec.workload);
+  const std::uint32_t size = spec.size != 0 ? spec.size : wl.default_size;
+  return std::make_unique<pipeline::Pipeline>(
+      pipeline::Pipeline::from_workload(wl, spec.seed, size, profile));
+}
+
+Fixture make_fixture(const CampaignSpec& spec, const CellSpec& cell) {
+  Fixture fx;
+  const auto profile = cell_profile(spec, cell);
+  fx.session = victim_session(spec, profile, "campaign-victim");
+  sim::SimConfig config;
+  config.max_cycles = kTrialBudget;
+  fx.session->set_sim_config(config);
+
+  fx.base_image = fx.session->hardened().image;
+  const auto& clean = fx.session->run();
+  if (!clean.ok())
+    throw Error("campaign[" + cell.label() + "]: clean run failed: " +
+                std::string(to_string(clean.status)));
+  fx.clean_output = clean.output;
+  fx.model = verify::model_of(fx.session->hardened());
+  fx.device_spec = fx.session->device_spec();
+
+  // The donor: the same program sealed under another version nonce (the
+  // cross-version replay's ingredient). Built through its own session so
+  // the toolchain stages stay byte-faithful to a real rollout.
+  auto donor_profile = profile;
+  donor_profile.omega_override = spec.donor_omega;
+  auto donor_session = victim_session(spec, donor_profile, "campaign-donor");
+  fx.donor = donor_session->hardened().image;
+
+  fx.geometry.text_words = static_cast<std::uint32_t>(fx.base_image.text.size());
+  fx.geometry.words_per_block = profile.policy.words_per_block;
+  fx.base_config = fx.session->sim_config();
+  return fx;
+}
+
+/// Apply a record to fresh copies and execute (the one trial primitive the
+/// classifier, the minimizer and the replay all share).
+sim::RunResult execute(const Fixture& fx, const MutationRecord& record) {
+  auto image = fx.base_image;
+  sim::SimConfig config = fx.base_config;
+  apply(record, image, config, fx.ctx());
+  return fx.session->run_image(image, config);
+}
+
+/// One trial's folded outcome (index-owned slot in the pool).
+struct Trial {
+  TrialClass cls = TrialClass::kHarmless;
+  sim::ResetCause cause = sim::ResetCause::kNone;
+  std::uint64_t insts = 0;
+  MutationRecord record;
+  EscapeRecord escape;  ///< valid when cls == kEscaped
+};
+
+Trial run_trial(const Fixture& fx, std::uint64_t job, const Rng& base) {
+  Trial t;
+  try {
+    Rng rng = base.fork(job);
+    t.record = generate_record(rng, fx.geometry);
+    const auto run = execute(fx, t.record);
+    t.cls = classify(run, fx.clean_output);
+    t.cause = run.reset.cause;
+    t.insts = run.stats.insts;
+    if (t.cls != TrialClass::kEscaped) return t;
+
+    t.escape.job = job;
+    t.escape.status = std::string(to_string(run.status));
+    t.escape.output_clean = run.output == fx.clean_output;
+    t.escape.applied = t.record;
+    t.escape.minimized = minimize(t.record, [&](const MutationRecord& r) {
+      return classify(execute(fx, r), fx.clean_output);
+    });
+    // Static-layer attribution: which lint rules fire on the tampered
+    // image (none for pure fault schedules — those are invisible offline).
+    auto image = fx.base_image;
+    sim::SimConfig config = fx.base_config;
+    apply(t.record, image, config, fx.ctx());
+    t.escape.lint =
+        verify::error_rules(verify::lint(fx.model, image, fx.device_spec));
+  } catch (const std::exception& e) {
+    // A trial-level failure (replay error, backend transport loss) is an
+    // escape with the error as its status: loud in the document, gating
+    // the exit code, never sinking the campaign.
+    t.cls = TrialClass::kEscaped;
+    t.escape.job = job;
+    t.escape.status = std::string("error: ") + e.what();
+    t.escape.applied = t.record;
+    t.escape.minimized = t.record;
+  }
+  return t;
+}
+
+}  // namespace
+
+CampaignResult run_campaign(const CampaignSpec& spec, unsigned threads,
+                            const CellProgressFn& progress,
+                            driver::ShardSpec shard) {
+  shard.validate();
+  if (spec.cells.empty()) throw Error("campaign: no matrix cells");
+  if (spec.jobs_per_cell == 0)
+    throw Error("campaign: jobs_per_cell must be >= 1");
+
+  // This shard's slice of the global job list (index ≡ shard.index mod
+  // count), exactly the sweep driver's discipline.
+  std::vector<std::uint64_t> jobs;
+  const std::uint64_t total = spec.total_jobs();
+  for (std::uint64_t g = shard.index; g < total; g += shard.count)
+    jobs.push_back(g);
+
+  // Build fixtures only for cells this shard actually touches.
+  std::vector<std::unique_ptr<Fixture>> fixtures(spec.cells.size());
+  for (const std::uint64_t g : jobs) {
+    const std::size_t cell = g / spec.jobs_per_cell;
+    if (!fixtures[cell])
+      fixtures[cell] = std::make_unique<Fixture>(
+          make_fixture(spec, spec.cells[cell]));
+  }
+
+  CampaignResult result;
+  result.spec = spec;
+  result.shard = shard;
+
+  std::vector<Trial> trials(jobs.size());
+  const Rng base(spec.seed);
+  const auto t0 = std::chrono::steady_clock::now();
+  result.threads_used =
+      driver::for_each_index(jobs.size(), threads, [&](std::size_t i) {
+        const std::uint64_t g = jobs[i];
+        trials[i] = run_trial(*fixtures[g / spec.jobs_per_cell], g, base);
+      });
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  // Fold in job-index order (trials[] is already index-sorted), so tallies
+  // and escape lists are independent of thread interleaving.
+  result.cells.resize(spec.cells.size());
+  for (std::size_t c = 0; c < spec.cells.size(); ++c) {
+    auto& cell = result.cells[c];
+    cell.cell = spec.cells[c];
+    cell.authenticated =
+        scheme::get_scheme(spec.cells[c].scheme).traits().authenticated;
+    cell.latency_min = ~0ull;
+  }
+  for (std::size_t i = 0; i < trials.size(); ++i) {
+    const Trial& t = trials[i];
+    auto& cell = result.cells[jobs[i] / spec.jobs_per_cell];
+    ++cell.jobs;
+    for (const Mutation& m : t.record)
+      ++cell.mutations[static_cast<std::size_t>(m.kind)];
+    switch (t.cls) {
+      case TrialClass::kDetected:
+        ++cell.detected;
+        ++cell.causes[static_cast<std::size_t>(t.cause)];
+        cell.latency_min = std::min(cell.latency_min, t.insts);
+        cell.latency_max = std::max(cell.latency_max, t.insts);
+        cell.latency_total += t.insts;
+        break;
+      case TrialClass::kHarmless:
+        ++cell.harmless;
+        break;
+      case TrialClass::kEscaped:
+        ++cell.escaped;
+        cell.escapes.push_back(t.escape);
+        break;
+    }
+  }
+  for (auto& cell : result.cells) {
+    if (cell.detected == 0) cell.latency_min = 0;
+    if (progress) progress(cell);
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// JSON document
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr std::string_view kSchema = "sofia-attack-campaign-v1";
+
+void record_to_json(const MutationRecord& record, json::Writer& w) {
+  w.begin_array();
+  for (const Mutation& m : record) to_json(m, w);
+  w.end_array();
+}
+
+}  // namespace
+
+std::string to_json(const CampaignResult& result) {
+  json::Writer w(2);
+  w.begin_object();
+  w.member("schema", kSchema);
+  w.member("campaign", result.spec.name);
+  w.member("victim", result.spec.workload.empty() ? "builtin"
+                                                  : result.spec.workload);
+  w.member("size", result.spec.size);
+  w.member("backend", result.spec.backend);
+  w.member("seed", result.spec.seed);
+  w.member("donor_omega",
+           static_cast<std::uint64_t>(result.spec.donor_omega));
+  w.member("jobs_per_cell",
+           static_cast<std::uint64_t>(result.spec.jobs_per_cell));
+  w.member("job_count", result.spec.total_jobs());
+  if (!result.shard.is_whole())
+    w.member("shard", std::to_string(result.shard.index) + "/" +
+                          std::to_string(result.shard.count));
+  w.key("cells").begin_array();
+  for (std::size_t c = 0; c < result.cells.size(); ++c) {
+    const CellResult& cell = result.cells[c];
+    w.begin_object();
+    w.member("index", static_cast<std::uint64_t>(c));
+    w.member("scheme", cell.cell.scheme);
+    w.member("cipher", crypto::to_string(cell.cell.cipher));
+    w.member("granularity", crypto::to_string(cell.cell.granularity));
+    w.member("authenticated", cell.authenticated);
+    w.member("jobs", cell.jobs);
+    w.member("detected", cell.detected);
+    w.member("harmless", cell.harmless);
+    w.member("escaped", cell.escaped);
+    w.member("detection_rate", cell.detection_rate());
+    w.key("causes").begin_object();
+    for (std::size_t i = 0; i < kResetCauseCount; ++i)
+      if (cell.causes[i] != 0)
+        w.member(sim::to_string(static_cast<sim::ResetCause>(i)),
+                 cell.causes[i]);
+    w.end_object();
+    w.key("mutations").begin_object();
+    for (const auto& info : mutator_catalog()) {
+      const auto n = cell.mutations[static_cast<std::size_t>(info.kind)];
+      if (n != 0) w.member(info.name, n);
+    }
+    w.end_object();
+    if (cell.detected != 0) {
+      w.key("latency").begin_object();
+      w.member("min_insts", cell.latency_min);
+      w.member("max_insts", cell.latency_max);
+      w.member("total_insts", cell.latency_total);
+      w.member("mean_insts", static_cast<double>(cell.latency_total) /
+                                 static_cast<double>(cell.detected));
+      w.end_object();
+    }
+    w.key("escapes").begin_array();
+    for (const EscapeRecord& e : cell.escapes) {
+      w.begin_object();
+      w.member("job", e.job);
+      w.member("status", e.status);
+      w.member("output_clean", e.output_clean);
+      w.key("mutations");
+      record_to_json(e.applied, w);
+      w.key("minimized");
+      record_to_json(e.minimized, w);
+      w.key("lint").begin_array();
+      for (const verify::Rule rule : e.lint) w.value(verify::to_string(rule));
+      w.end_array();
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  std::string doc = w.str();
+  doc += '\n';
+  return doc;
+}
+
+// ---------------------------------------------------------------------------
+// Shard merge
+// ---------------------------------------------------------------------------
+
+namespace {
+
+const json::Value& req(const json::Value& doc, std::string_view key,
+                       const std::string& label) {
+  const auto* v = doc.find(key);
+  if (v == nullptr)
+    throw Error("merge: " + label + " is missing '" + std::string(key) + "'");
+  return *v;
+}
+
+bool as_bool(const json::Value& v, std::string_view context) {
+  if (v.kind != json::Value::Kind::kBool)
+    throw Error("merge: '" + std::string(context) + "' is not a boolean");
+  return v.boolean;
+}
+
+crypto::Granularity parse_granularity(const std::string& name) {
+  for (const auto g :
+       {crypto::Granularity::kPerPair, crypto::Granularity::kPerWord})
+    if (crypto::to_string(g) == name) return g;
+  throw Error("merge: unknown granularity '" + name + "'");
+}
+
+sim::ResetCause parse_cause(const std::string& name) {
+  for (std::size_t i = 0; i < kResetCauseCount; ++i)
+    if (sim::to_string(static_cast<sim::ResetCause>(i)) == name)
+      return static_cast<sim::ResetCause>(i);
+  throw Error("merge: unknown reset cause '" + name + "'");
+}
+
+verify::Rule parse_rule(const std::string& name) {
+  for (const auto& info : verify::rule_catalog())
+    if (info.name == name) return info.rule;
+  throw Error("merge: unknown lint rule '" + name + "'");
+}
+
+MutationRecord record_from_json(const json::Value& v,
+                                std::string_view context) {
+  MutationRecord record;
+  for (const auto& m : v.as_array(context))
+    record.push_back(mutation_from_json(m));
+  return record;
+}
+
+}  // namespace
+
+std::string merge_json(const std::vector<std::string>& documents) {
+  if (documents.empty()) throw Error("merge: no input documents");
+
+  CampaignResult merged;
+  std::vector<bool> shard_seen;
+  std::uint32_t shard_count = 0;
+
+  for (std::size_t d = 0; d < documents.size(); ++d) {
+    const json::Value doc = json::parse(documents[d]);
+    const auto label = "document " + std::to_string(d);
+    if (req(doc, "schema", label).as_string("schema") != kSchema)
+      throw Error("merge: " + label + " is not a " + std::string(kSchema) +
+                  " document");
+
+    CampaignSpec spec;
+    spec.name = req(doc, "campaign", label).as_string("campaign");
+    const auto victim = req(doc, "victim", label).as_string("victim");
+    spec.workload = victim == "builtin" ? "" : victim;
+    spec.size =
+        static_cast<std::uint32_t>(req(doc, "size", label).as_uint("size"));
+    spec.backend = req(doc, "backend", label).as_string("backend");
+    spec.seed = req(doc, "seed", label).as_uint("seed");
+    spec.donor_omega = static_cast<std::uint16_t>(
+        req(doc, "donor_omega", label).as_uint("donor_omega"));
+    spec.jobs_per_cell = static_cast<std::uint32_t>(
+        req(doc, "jobs_per_cell", label).as_uint("jobs_per_cell"));
+
+    const auto shard_text = driver::ShardSpec::parse(
+        req(doc, "shard", label).as_string("shard"));
+    if (d == 0) {
+      shard_count = shard_text.count;
+      if (documents.size() != shard_count)
+        throw Error("merge: got " + std::to_string(documents.size()) +
+                    " document(s) for " + std::to_string(shard_count) +
+                    " shard(s)");
+      shard_seen.assign(shard_count, false);
+    } else if (shard_text.count != shard_count) {
+      throw Error("merge: " + label + " disagrees on the shard count");
+    }
+    if (shard_seen[shard_text.index])
+      throw Error("merge: shard " + std::to_string(shard_text.index) +
+                  " appears in more than one document");
+    shard_seen[shard_text.index] = true;
+
+    const auto& cells = req(doc, "cells", label).as_array("cells");
+    if (d == 0) {
+      merged.spec = spec;
+      merged.cells.resize(cells.size());
+    } else {
+      const auto& s = merged.spec;
+      if (spec.name != s.name || spec.workload != s.workload ||
+          spec.size != s.size || spec.backend != s.backend ||
+          spec.seed != s.seed || spec.donor_omega != s.donor_omega ||
+          spec.jobs_per_cell != s.jobs_per_cell ||
+          cells.size() != merged.cells.size())
+        throw Error("merge: " + label +
+                    " disagrees with document 0 on the campaign header");
+    }
+
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      const auto& jc = cells[c];
+      const auto cl = label + " cell " + std::to_string(c);
+      CellSpec cell_spec;
+      cell_spec.scheme = req(jc, "scheme", cl).as_string("scheme");
+      cell_spec.cipher = pipeline::DeviceProfile::parse_cipher(
+          req(jc, "cipher", cl).as_string("cipher"));
+      cell_spec.granularity = parse_granularity(
+          req(jc, "granularity", cl).as_string("granularity"));
+      auto& out = merged.cells[c];
+      if (d == 0) {
+        merged.spec.cells.push_back(cell_spec);
+        out.cell = cell_spec;
+        out.authenticated = as_bool(req(jc, "authenticated", cl), cl);
+        out.latency_min = ~0ull;
+      } else if (cell_spec.scheme != out.cell.scheme ||
+                 cell_spec.cipher != out.cell.cipher ||
+                 cell_spec.granularity != out.cell.granularity) {
+        throw Error("merge: " + cl + " disagrees on the cell axes");
+      }
+      out.jobs += req(jc, "jobs", cl).as_uint("jobs");
+      const std::uint64_t detected =
+          req(jc, "detected", cl).as_uint("detected");
+      out.detected += detected;
+      out.harmless += req(jc, "harmless", cl).as_uint("harmless");
+      out.escaped += req(jc, "escaped", cl).as_uint("escaped");
+      for (const auto& [name, count] :
+           req(jc, "causes", cl).object)
+        out.causes[static_cast<std::size_t>(parse_cause(name))] +=
+            count.as_uint("causes");
+      for (const auto& [name, count] :
+           req(jc, "mutations", cl).object)
+        out.mutations[static_cast<std::size_t>(parse_mutation_kind(name))] +=
+            count.as_uint("mutations");
+      if (detected != 0) {
+        const auto& lat = req(jc, "latency", cl);
+        out.latency_min = std::min(
+            out.latency_min, req(lat, "min_insts", cl).as_uint("min_insts"));
+        out.latency_max = std::max(
+            out.latency_max, req(lat, "max_insts", cl).as_uint("max_insts"));
+        out.latency_total += req(lat, "total_insts", cl).as_uint("total_insts");
+      }
+      for (const auto& je : req(jc, "escapes", cl).as_array("escapes")) {
+        EscapeRecord e;
+        e.job = req(je, "job", cl).as_uint("job");
+        e.status = req(je, "status", cl).as_string("status");
+        e.output_clean = as_bool(req(je, "output_clean", cl), cl);
+        e.applied = record_from_json(req(je, "mutations", cl), "mutations");
+        e.minimized = record_from_json(req(je, "minimized", cl), "minimized");
+        for (const auto& rule : req(je, "lint", cl).as_array("lint"))
+          e.lint.push_back(parse_rule(rule.as_string("lint")));
+        out.escapes.push_back(std::move(e));
+      }
+    }
+  }
+
+  for (std::uint32_t k = 0; k < shard_count; ++k)
+    if (!shard_seen[k])
+      throw Error("merge: shard " + std::to_string(k) +
+                  " is missing from the inputs");
+
+  for (auto& cell : merged.cells) {
+    if (cell.detected == 0) cell.latency_min = 0;
+    if (cell.jobs != merged.spec.jobs_per_cell)
+      throw Error("merge: cell '" + cell.cell.label() + "' sums to " +
+                  std::to_string(cell.jobs) + " job(s), expected " +
+                  std::to_string(merged.spec.jobs_per_cell));
+    std::sort(cell.escapes.begin(), cell.escapes.end(),
+              [](const EscapeRecord& a, const EscapeRecord& b) {
+                return a.job < b.job;
+              });
+  }
+
+  merged.shard = driver::ShardSpec{};  // the canonical unsharded document
+  return to_json(merged);
+}
+
+}  // namespace sofia::campaign

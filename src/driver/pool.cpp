@@ -1,0 +1,35 @@
+#include "driver/pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace sofia::driver {
+
+unsigned for_each_index(std::size_t count, unsigned threads,
+                        const std::function<void(std::size_t)>& fn) {
+  const auto max_threads = static_cast<unsigned>(std::max<std::size_t>(count, 1));
+  threads = std::clamp(threads, 1u, max_threads);
+
+  std::atomic<std::size_t> next{0};
+  const auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      fn(i);
+    }
+  };
+
+  if (threads == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (auto& t : pool) t.join();
+  }
+  return threads;
+}
+
+}  // namespace sofia::driver

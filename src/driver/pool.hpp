@@ -1,0 +1,21 @@
+// Deterministic indexed thread pool, hoisted out of run_sweep() so the
+// sweep driver and the adversarial campaign engine share one execution
+// discipline: workers claim job indices from a single atomic counter and
+// write each result into the job's own pre-sized slot, so the output order
+// (and any JSON rendered from it) never depends on thread interleaving.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace sofia::driver {
+
+/// Execute fn(i) for every i in [0, count) on `threads` workers (clamped to
+/// [1, count]); returns the worker count actually used. fn is called at
+/// most once per index and must confine its writes to index-owned state;
+/// serializing any shared side effect (progress printing) is the caller's
+/// job. Exceptions must not escape fn — capture failures in the slot.
+unsigned for_each_index(std::size_t count, unsigned threads,
+                        const std::function<void(std::size_t)>& fn);
+
+}  // namespace sofia::driver

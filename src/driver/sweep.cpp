@@ -1,11 +1,10 @@
 #include "driver/sweep.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <chrono>
 #include <mutex>
-#include <thread>
 
+#include "driver/pool.hpp"
 #include "scheme/scheme.hpp"
 #include "support/cli.hpp"
 #include "support/error.hpp"
@@ -162,37 +161,20 @@ SweepResult run_sweep(const SweepSpec& spec, unsigned threads,
   result.shard = shard;
   result.jobs.resize(jobs.size());
 
-  const auto max_threads =
-      static_cast<unsigned>(std::max<std::size_t>(jobs.size(), 1));
-  threads = std::clamp(threads, 1u, max_threads);
-  result.threads_used = threads;
   const auto t0 = std::chrono::steady_clock::now();
 
-  // Work-stealing by atomic index: each worker claims the next unclaimed
-  // job and writes its result into the job's own slot, so the output order
+  // Each worker claims the next unclaimed job index and writes its result
+  // into the job's own slot (driver::for_each_index), so the output order
   // (and the JSON rendered from it) never depends on thread interleaving.
-  std::atomic<std::size_t> next{0};
   std::mutex progress_mutex;
-  const auto worker = [&] {
-    for (;;) {
-      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= jobs.size()) return;
-      result.jobs[i] = run_job(jobs[i]);
-      if (progress) {
-        const std::lock_guard<std::mutex> lock(progress_mutex);
-        progress(result.jobs[i]);
-      }
-    }
-  };
-
-  if (threads == 1) {
-    worker();
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(threads);
-    for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
-    for (auto& t : pool) t.join();
-  }
+  result.threads_used =
+      for_each_index(jobs.size(), threads, [&](std::size_t i) {
+        result.jobs[i] = run_job(jobs[i]);
+        if (progress) {
+          const std::lock_guard<std::mutex> lock(progress_mutex);
+          progress(result.jobs[i]);
+        }
+      });
 
   result.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)

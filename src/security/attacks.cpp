@@ -1,6 +1,7 @@
 #include "security/attacks.hpp"
 
 #include "assembler/link.hpp"
+#include "campaign/mutation.hpp"
 #include "support/error.hpp"
 
 namespace sofia::security {
@@ -57,41 +58,47 @@ AttackOutcome AttackHarness::run_tampered(std::string name,
   return outcome;
 }
 
+AttackOutcome AttackHarness::run_mutated(std::string name,
+                                         const campaign::Mutation& m,
+                                         const assembler::LoadImage* donor) const {
+  // The one-shot attacks are campaign mutations applied by hand: one
+  // implementation of each tamper primitive, shared with the campaign
+  // engine (campaign/mutation.cpp).
+  auto image = transformed().image;
+  sim::SimConfig scratch;  // the static kinds never touch the fault slot
+  const campaign::ApplyContext ctx{pipeline_.profile().policy.words_per_block,
+                                   donor};
+  campaign::apply(m, image, scratch, ctx);
+  return run_tampered(std::move(name), std::move(image));
+}
+
 AttackOutcome AttackHarness::flip_bit(std::uint32_t word_index,
                                       unsigned bit) const {
-  auto image = transformed().image;
-  image.text.at(word_index) ^= (1u << (bit & 31));
-  return run_tampered("flip-bit w" + std::to_string(word_index) + " b" +
-                          std::to_string(bit),
-                      std::move(image));
+  return run_mutated(
+      "flip-bit w" + std::to_string(word_index) + " b" + std::to_string(bit),
+      {campaign::MutationKind::kBitFlip, word_index, bit});
 }
 
 AttackOutcome AttackHarness::patch_word(std::uint32_t word_index,
                                         std::uint32_t value) const {
-  auto image = transformed().image;
-  image.text.at(word_index) = value;
-  return run_tampered("patch-word w" + std::to_string(word_index),
-                      std::move(image));
+  return run_mutated("patch-word w" + std::to_string(word_index),
+                     {campaign::MutationKind::kWordPatch, word_index, value});
 }
 
 AttackOutcome AttackHarness::relocate_word(std::uint32_t from_index,
                                            std::uint32_t to_index) const {
-  auto image = transformed().image;
-  image.text.at(to_index) = image.text.at(from_index);
-  return run_tampered("relocate-word " + std::to_string(from_index) + "->" +
-                          std::to_string(to_index),
-                      std::move(image));
+  return run_mutated(
+      "relocate-word " + std::to_string(from_index) + "->" +
+          std::to_string(to_index),
+      {campaign::MutationKind::kWordRelocate, from_index, to_index});
 }
 
 AttackOutcome AttackHarness::splice_block(std::uint32_t from_block,
                                           std::uint32_t to_block) const {
-  auto image = transformed().image;
-  const std::uint32_t b = pipeline_.profile().policy.words_per_block;
-  for (std::uint32_t j = 0; j < b; ++j)
-    image.text.at(to_block * b + j) = image.text.at(from_block * b + j);
-  return run_tampered("splice-block " + std::to_string(from_block) + "->" +
-                          std::to_string(to_block),
-                      std::move(image));
+  return run_mutated(
+      "splice-block " + std::to_string(from_block) + "->" +
+          std::to_string(to_block),
+      {campaign::MutationKind::kBlockSplice, from_block, to_block});
 }
 
 AttackOutcome AttackHarness::cross_version_splice(
@@ -103,12 +110,10 @@ AttackOutcome AttackHarness::cross_version_splice(
   auto other_session =
       pipeline::Pipeline::from_source(source_, other_profile, "other-version");
   const auto& other = other_session.hardened();
-  auto image = transformed().image;
-  const std::uint32_t b = pipeline_.profile().policy.words_per_block;
-  for (std::uint32_t j = 0; j < b; ++j)
-    image.text.at(block_index * b + j) = other.image.text.at(block_index * b + j);
-  return run_tampered("cross-version-splice block " + std::to_string(block_index),
-                      std::move(image));
+  return run_mutated(
+      "cross-version-splice block " + std::to_string(block_index),
+      {campaign::MutationKind::kCrossVersionSplice, block_index},
+      &other.image);
 }
 
 std::vector<AttackOutcome> AttackHarness::random_bit_flips(Rng& rng,

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "campaign/mutation.hpp"
 #include "crypto/key_set.hpp"
 #include "pipeline/pipeline.hpp"
 #include "sim/machine.hpp"
@@ -73,6 +74,10 @@ class AttackHarness {
  private:
   AttackOutcome run_tampered(std::string name,
                              assembler::LoadImage image) const;
+  /// Apply one campaign mutation to a fresh image copy and run it — the
+  /// one-shot attacks share the campaign engine's tamper primitives.
+  AttackOutcome run_mutated(std::string name, const campaign::Mutation& m,
+                            const assembler::LoadImage* donor = nullptr) const;
 
   std::string source_;
   /// mutable: the lazy stage accessors are non-const but cached — the

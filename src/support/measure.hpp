@@ -52,4 +52,11 @@ inline void print_rule(int width = 78) {
   std::putchar('\n');
 }
 
+/// Stream-targeted overload for tools whose tables move to stderr when the
+/// JSON document streams on stdout (`--json -`).
+inline void print_rule(std::FILE* out, int width) {
+  for (int i = 0; i < width; ++i) std::putc('-', out);
+  std::putc('\n', out);
+}
+
 }  // namespace sofia::bench

@@ -64,4 +64,16 @@ double Rng::next_double() {
   return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
 }
 
+Rng Rng::fork(std::uint64_t stream_id) const {
+  // Two splitmix64 steps over (state, stream_id): the first decorrelates
+  // the child from the parent's own output stream (which is a different
+  // function of the same state words), the second folds the stream id in
+  // so that adjacent ids land far apart in seed space.
+  std::uint64_t x = state_[0] ^ rotl64(state_[2], 29);
+  std::uint64_t seed = splitmix64(x);
+  x ^= stream_id;
+  seed ^= splitmix64(x);
+  return Rng(seed);
+}
+
 }  // namespace sofia

@@ -33,6 +33,15 @@ class Rng {
   /// Bernoulli draw with probability p.
   bool next_bool(double p = 0.5) { return next_double() < p; }
 
+  /// Derive an independent substream (splitmix-style): the child is seeded
+  /// from a hash of this generator's *current* state and `stream_id`, so
+  /// fork(i) from a fresh parent is a pure function of (seed, i) — the
+  /// campaign driver forks one stream per job index and gets byte-identical
+  /// mutation schedules for any thread count or shard split. Forking does
+  /// not advance the parent, and distinct stream ids give uncorrelated
+  /// sequences.
+  Rng fork(std::uint64_t stream_id) const;
+
  private:
   std::uint64_t state_[4];
 };

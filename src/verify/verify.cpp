@@ -154,6 +154,15 @@ void Report::to_json(json::Writer& w) const {
   w.end_object();
 }
 
+std::vector<Rule> error_rules(const Report& report) {
+  std::vector<Rule> rules;
+  for (const Finding& f : report.findings)
+    if (f.severity == Severity::kError) rules.push_back(f.rule);
+  std::sort(rules.begin(), rules.end());
+  rules.erase(std::unique(rules.begin(), rules.end()), rules.end());
+  return rules;
+}
+
 // ---------------------------------------------------------------------------
 // Program-mode lint
 // ---------------------------------------------------------------------------

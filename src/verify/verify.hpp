@@ -119,6 +119,11 @@ struct Report {
   void to_json(json::Writer& w) const;
 };
 
+/// The distinct error-severity rules a report fired, in enum order — the
+/// campaign engine's triage uses this to attribute what the static layer
+/// would have caught about a runtime escape.
+std::vector<Rule> error_rules(const Report& report);
+
 // ---- inputs ----------------------------------------------------------------
 
 /// The device-side facts the verifier needs to re-derive seals: exactly the

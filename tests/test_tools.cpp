@@ -17,10 +17,11 @@
 #if !defined(SOFIA_ASM_BIN) || !defined(SOFIA_RUN_BIN) ||      \
     !defined(SOFIA_OBJDUMP_BIN) || !defined(SOFIA_REPORT_BIN) || \
     !defined(SOFIA_SWEEP_BIN) || !defined(SOFIA_WORKER_BIN) || \
-    !defined(SOFIA_FLEET_BIN) || !defined(SOFIA_LINT_BIN)
+    !defined(SOFIA_FLEET_BIN) || !defined(SOFIA_LINT_BIN) || \
+    !defined(SOFIA_ATTACK_BIN)
 #error "SOFIA_ASM_BIN / SOFIA_RUN_BIN / SOFIA_OBJDUMP_BIN / SOFIA_REPORT_BIN \
-/ SOFIA_SWEEP_BIN / SOFIA_WORKER_BIN / SOFIA_FLEET_BIN / SOFIA_LINT_BIN must \
-be injected by the build: configure with -DSOFIA_BUILD_TOOLS=ON so \
+/ SOFIA_SWEEP_BIN / SOFIA_WORKER_BIN / SOFIA_FLEET_BIN / SOFIA_LINT_BIN / \
+SOFIA_ATTACK_BIN must be injected by the build: configure with -DSOFIA_BUILD_TOOLS=ON so \
 tests/CMakeLists.txt can define them from $<TARGET_FILE:...>"
 #endif
 
@@ -309,10 +310,10 @@ TEST_F(Tools, UnknownCipherRejected) {
 
 TEST_F(Tools, EveryToolRejectsUnknownFlagsWithUsage) {
   // The shared CLI layer: unknown flag -> diagnostic + usage, exit 2,
-  // uniformly across all eight front-ends.
+  // uniformly across all nine front-ends.
   for (const char* tool : {SOFIA_ASM_BIN, SOFIA_RUN_BIN, SOFIA_OBJDUMP_BIN,
                            SOFIA_REPORT_BIN, SOFIA_SWEEP_BIN, SOFIA_WORKER_BIN,
-                           SOFIA_FLEET_BIN, SOFIA_LINT_BIN}) {
+                           SOFIA_FLEET_BIN, SOFIA_LINT_BIN, SOFIA_ATTACK_BIN}) {
     int code = 0;
     const auto out = run_command(std::string(tool) + " --frobnicate", &code);
     EXPECT_EQ(code, 2) << tool << ": " << out;
@@ -325,7 +326,7 @@ TEST_F(Tools, EveryToolRejectsUnknownFlagsWithUsage) {
 TEST_F(Tools, EveryToolPrintsHelp) {
   for (const char* tool : {SOFIA_ASM_BIN, SOFIA_RUN_BIN, SOFIA_OBJDUMP_BIN,
                            SOFIA_REPORT_BIN, SOFIA_SWEEP_BIN, SOFIA_WORKER_BIN,
-                           SOFIA_FLEET_BIN, SOFIA_LINT_BIN}) {
+                           SOFIA_FLEET_BIN, SOFIA_LINT_BIN, SOFIA_ATTACK_BIN}) {
     int code = 0;
     const auto out = run_command(std::string(tool) + " --help", &code);
     EXPECT_EQ(code, 0) << tool << ": " << out;
@@ -340,7 +341,7 @@ TEST_F(Tools, HelpStaysInSyncWithTheLiveRegistries) {
   // surface in the user-facing help with no tool edits — this test fails
   // if a tool ever goes back to a hard-coded list.
   for (const char* tool : {SOFIA_RUN_BIN, SOFIA_SWEEP_BIN, SOFIA_REPORT_BIN,
-                           SOFIA_FLEET_BIN}) {
+                           SOFIA_FLEET_BIN, SOFIA_ATTACK_BIN}) {
     int code = 0;
     const auto out = run_command(std::string(tool) + " --help", &code);
     ASSERT_EQ(code, 0) << tool << ": " << out;
@@ -627,6 +628,104 @@ TEST_F(Tools, SweepLintPrefilterKeepsTheDocumentIdentical) {
   std::remove(plain.c_str());
   std::remove(linted.c_str());
 }
+
+TEST_F(Tools, AttackSmokeCampaignDetectsEverything) {
+  // The CI gate in miniature: the smoke campaign must report 100% detection
+  // for every authenticated scheme and exit 0.
+  const std::string tag = std::to_string(getpid());
+  const std::string json = "/tmp/sofia_attack_" + tag + "_smoke.json";
+  int code = 0;
+  const auto out = run_command(
+      std::string(SOFIA_ATTACK_BIN) +
+          " --campaign --smoke --jobs 60 --threads 2 --json " + json, &code);
+  EXPECT_EQ(code, 0) << out;
+  EXPECT_NE(out.find("authenticated schemes clean"), std::string::npos) << out;
+  std::ifstream in(json, std::ios::binary);
+  const std::string doc{std::istreambuf_iterator<char>(in),
+                        std::istreambuf_iterator<char>()};
+  EXPECT_NE(doc.find("\"schema\": \"sofia-attack-campaign-v1\""),
+            std::string::npos);
+  EXPECT_NE(doc.find("\"scheme\": \"sofia-cbcmac\""), std::string::npos);
+  std::remove(json.c_str());
+}
+
+TEST_F(Tools, AttackShardMergeIsByteIdenticalToUnsharded) {
+  const std::string tag = std::to_string(getpid());
+  const std::string whole = "/tmp/sofia_attack_" + tag + "_whole.json";
+  const std::string s0 = "/tmp/sofia_attack_" + tag + "_0.json";
+  const std::string s1 = "/tmp/sofia_attack_" + tag + "_1.json";
+  const std::string merged = "/tmp/sofia_attack_" + tag + "_merged.json";
+  const std::string base = std::string(SOFIA_ATTACK_BIN) +
+                           " --campaign --smoke --jobs 40 --quiet --threads 2";
+  int code = 0;
+  auto out = run_command(base + " --json " + whole, &code);
+  EXPECT_EQ(code, 0) << out;
+  out = run_command(base + " --shard 0/2 --json " + s0, &code);
+  EXPECT_EQ(code, 0) << out;
+  out = run_command(base + " --shard 1/2 --json " + s1, &code);
+  EXPECT_EQ(code, 0) << out;
+  out = run_command(std::string(SOFIA_ATTACK_BIN) + " --merge " + merged +
+                        " " + s0 + " " + s1, &code);
+  EXPECT_EQ(code, 0) << out;
+  const auto slurp = [](const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+  };
+  const auto whole_doc = slurp(whole);
+  EXPECT_FALSE(whole_doc.empty());
+  EXPECT_EQ(whole_doc, slurp(merged));
+  EXPECT_NE(slurp(s0).find("\"shard\": \"0/2\""), std::string::npos);
+  // An incomplete shard set must fail loudly.
+  out = run_command(std::string(SOFIA_ATTACK_BIN) + " --merge " + merged +
+                        " " + s0, &code);
+  EXPECT_NE(code, 0);
+  for (const auto& p : {whole, s0, s1, merged}) std::remove(p.c_str());
+}
+
+TEST_F(Tools, AttackJsonDashStreamsTheDocumentToStdout) {
+  const std::string tag = std::to_string(getpid());
+  const std::string json = "/tmp/sofia_attack_" + tag + "_dash.json";
+  const std::string base = std::string(SOFIA_ATTACK_BIN) +
+                           " --campaign --smoke --jobs 30 --quiet --threads 2";
+  int code = 0;
+  const auto file_out = run_command(base + " --json " + json, &code);
+  ASSERT_EQ(code, 0) << file_out;
+  const auto stdout_doc =
+      run_command("( " + base + " --json - 2>/dev/null )", &code);
+  EXPECT_EQ(code, 0);
+  std::ifstream in(json, std::ios::binary);
+  const std::string file_doc{std::istreambuf_iterator<char>(in),
+                             std::istreambuf_iterator<char>()};
+  EXPECT_EQ(stdout_doc, file_doc);
+  std::remove(json.c_str());
+}
+
+TEST_F(Tools, AttackListsMutatorsAndRejectsIdleInvocation) {
+  int code = 0;
+  const auto catalog = run_command(
+      std::string(SOFIA_ATTACK_BIN) + " --mutators", &code);
+  EXPECT_EQ(code, 0);
+  EXPECT_NE(catalog.find("bit-flip"), std::string::npos) << catalog;
+  EXPECT_NE(catalog.find("cross-version-splice"), std::string::npos) << catalog;
+  EXPECT_NE(catalog.find("fetch-fault"), std::string::npos) << catalog;
+  const auto idle = run_command(std::string(SOFIA_ATTACK_BIN), &code);
+  EXPECT_EQ(code, 2);
+  EXPECT_NE(idle.find("nothing to do"), std::string::npos) << idle;
+}
+
+#ifdef BENCH_ATTACK_MATRIX_BIN
+TEST_F(Tools, AttackMatrixJsonDashStreamsToStdout) {
+  // The bench tool shares the emit_document contract: `--json -` puts the
+  // sofia-attack-matrix-v2 document alone on stdout.
+  int code = 0;
+  const auto doc = run_command(
+      "( " + std::string(BENCH_ATTACK_MATRIX_BIN) +
+          " --flips 10 --json - 2>/dev/null )", &code);
+  EXPECT_EQ(code, 0);
+  EXPECT_EQ(doc.find("{\n  \"schema\": \"sofia-attack-matrix-v2\""), 0u) << doc;
+}
+#endif
 
 TEST_F(Tools, SweepListsMatricesAndRejectsUnknown) {
   int code = 0;
