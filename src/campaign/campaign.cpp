@@ -5,8 +5,10 @@
 #include <memory>
 #include <mutex>
 
+#include "assembler/image_io.hpp"
 #include "driver/pool.hpp"
 #include "pipeline/pipeline.hpp"
+#include "remote/codec.hpp"
 #include "scheme/scheme.hpp"
 #include "support/error.hpp"
 #include "support/json.hpp"
@@ -153,6 +155,64 @@ bool CampaignResult::authenticated_clean() const {
 }
 
 // ---------------------------------------------------------------------------
+// Shared JSON helpers (the shard merge and the result-cache payload codec)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr std::string_view kSchema = "sofia-attack-campaign-v1";
+
+void record_to_json(const MutationRecord& record, json::Writer& w) {
+  w.begin_array();
+  for (const Mutation& m : record) to_json(m, w);
+  w.end_array();
+}
+
+const json::Value& req(const json::Value& doc, std::string_view key,
+                       const std::string& label) {
+  const auto* v = doc.find(key);
+  if (v == nullptr)
+    throw Error("merge: " + label + " is missing '" + std::string(key) + "'");
+  return *v;
+}
+
+bool as_bool(const json::Value& v, std::string_view context) {
+  if (v.kind != json::Value::Kind::kBool)
+    throw Error("merge: '" + std::string(context) + "' is not a boolean");
+  return v.boolean;
+}
+
+crypto::Granularity parse_granularity(const std::string& name) {
+  for (const auto g :
+       {crypto::Granularity::kPerPair, crypto::Granularity::kPerWord})
+    if (crypto::to_string(g) == name) return g;
+  throw Error("merge: unknown granularity '" + name + "'");
+}
+
+sim::ResetCause parse_cause(const std::string& name) {
+  for (std::size_t i = 0; i < kResetCauseCount; ++i)
+    if (sim::to_string(static_cast<sim::ResetCause>(i)) == name)
+      return static_cast<sim::ResetCause>(i);
+  throw Error("merge: unknown reset cause '" + name + "'");
+}
+
+verify::Rule parse_rule(const std::string& name) {
+  for (const auto& info : verify::rule_catalog())
+    if (info.name == name) return info.rule;
+  throw Error("merge: unknown lint rule '" + name + "'");
+}
+
+MutationRecord record_from_json(const json::Value& v,
+                                std::string_view context) {
+  MutationRecord record;
+  for (const auto& m : v.as_array(context))
+    record.push_back(mutation_from_json(m));
+  return record;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
 // Execution
 // ---------------------------------------------------------------------------
 
@@ -170,6 +230,10 @@ struct Fixture {
   assembler::LoadImage donor;
   ImageGeometry geometry;
   sim::SimConfig base_config;
+  /// Digest over the cell's whole attack surface (profile fingerprint,
+  /// base + donor image bytes, canonical SimConfig encoding, campaign
+  /// seed) — the per-trial cache key is (this, global job index).
+  std::string cache_digest;
 
   /// Built per call (never stored): a stored donor pointer would dangle
   /// the moment the fixture moves into its slot.
@@ -226,6 +290,15 @@ Fixture make_fixture(const CampaignSpec& spec, const CellSpec& cell) {
   fx.geometry.text_words = static_cast<std::uint32_t>(fx.base_image.text.size());
   fx.geometry.words_per_block = profile.policy.words_per_block;
   fx.base_config = fx.session->sim_config();
+
+  cache::KeyBuilder kb("sofia-cache-key-v1/campaign-fixture");
+  kb.field("profile", profile.fingerprint());
+  kb.field("base_image", assembler::serialize_image(fx.base_image));
+  kb.field("donor", assembler::serialize_image(fx.donor));
+  kb.field("config",
+           remote::encode_config(fx.session->effective_sim_config()));
+  kb.field("seed", spec.seed);
+  fx.cache_digest = cache::to_hex(kb.finish());
   return fx;
 }
 
@@ -244,11 +317,105 @@ struct Trial {
   sim::ResetCause cause = sim::ResetCause::kNone;
   std::uint64_t insts = 0;
   MutationRecord record;
-  EscapeRecord escape;  ///< valid when cls == kEscaped
+  EscapeRecord escape;     ///< valid when cls == kEscaped
+  bool from_cache = false;  ///< served without executing (not in the JSON)
 };
 
-Trial run_trial(const Fixture& fx, std::uint64_t job, const Rng& base) {
+// ---- result-cache payload codec -------------------------------------------
+
+constexpr std::string_view kTrialKind = "campaign-trial";
+constexpr std::string_view kTrialPayloadSchema =
+    "sofia-cache-campaign-trial-v1";
+
+std::string encode_trial_payload(const Trial& t) {
+  json::Writer w(-1);
+  w.begin_object();
+  w.member("schema", kTrialPayloadSchema);
+  w.member("cls", to_string(t.cls));
+  w.member("cause", sim::to_string(t.cause));
+  w.member("insts", t.insts);
+  w.key("record");
+  record_to_json(t.record, w);
+  if (t.cls == TrialClass::kEscaped) {
+    w.key("escape").begin_object();
+    w.member("job", t.escape.job);
+    w.member("status", t.escape.status);
+    w.member("output_clean", t.escape.output_clean);
+    w.key("mutations");
+    record_to_json(t.escape.applied, w);
+    w.key("minimized");
+    record_to_json(t.escape.minimized, w);
+    w.key("lint").begin_array();
+    for (const verify::Rule rule : t.escape.lint)
+      w.value(verify::to_string(rule));
+    w.end_array();
+    w.end_object();
+  }
+  w.end_object();
+  return w.str();
+}
+
+TrialClass parse_class(const std::string& name) {
+  for (const auto cls : {TrialClass::kDetected, TrialClass::kHarmless,
+                         TrialClass::kEscaped})
+    if (to_string(cls) == name) return cls;
+  throw Error("cache payload: unknown trial class '" + name + "'");
+}
+
+/// Decode a cached trial; returns false (t untouched) on any mismatch, so
+/// a stale or foreign payload degrades to a miss, never a crash.
+bool decode_trial_payload(const std::string& payload, Trial& t) {
+  try {
+    const json::Value doc = json::parse(payload);
+    const auto* schema = doc.find("schema");
+    if (schema == nullptr ||
+        schema->as_string("schema") != kTrialPayloadSchema)
+      return false;
+    const std::string label = "cached trial";
+    Trial out;
+    out.cls = parse_class(req(doc, "cls", label).as_string("cls"));
+    out.cause = parse_cause(req(doc, "cause", label).as_string("cause"));
+    out.insts = req(doc, "insts", label).as_uint("insts");
+    out.record = record_from_json(req(doc, "record", label), "record");
+    if (out.cls == TrialClass::kEscaped) {
+      const auto& je = req(doc, "escape", label);
+      out.escape.job = req(je, "job", label).as_uint("job");
+      out.escape.status = req(je, "status", label).as_string("status");
+      out.escape.output_clean =
+          as_bool(req(je, "output_clean", label), "output_clean");
+      out.escape.applied =
+          record_from_json(req(je, "mutations", label), "mutations");
+      out.escape.minimized =
+          record_from_json(req(je, "minimized", label), "minimized");
+      for (const auto& rule : req(je, "lint", label).as_array("lint"))
+        out.escape.lint.push_back(parse_rule(rule.as_string("lint")));
+    }
+    t = std::move(out);
+    return true;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+Trial run_trial(const Fixture& fx, std::uint64_t job, const Rng& base,
+                cache::ResultStore* store) {
   Trial t;
+  cache::Key key{};
+  if (store != nullptr) {
+    cache::KeyBuilder kb("sofia-cache-key-v1/campaign-trial");
+    kb.field("fixture", fx.cache_digest);
+    kb.field("job", job);
+    key = kb.finish();
+    if (auto payload = store->load(key, kTrialKind)) {
+      if (decode_trial_payload(*payload, t)) {
+        t.from_cache = true;
+        return t;
+      }
+      store->warn("cache: campaign-trial payload for job " +
+                  std::to_string(job) + " is undecodable; re-executing");
+    }
+  }
+  bool trial_error = false;
   try {
     Rng rng = base.fork(job);
     t.record = generate_record(rng, fx.geometry);
@@ -256,32 +423,37 @@ Trial run_trial(const Fixture& fx, std::uint64_t job, const Rng& base) {
     t.cls = classify(run, fx.clean_output);
     t.cause = run.reset.cause;
     t.insts = run.stats.insts;
-    if (t.cls != TrialClass::kEscaped) return t;
-
-    t.escape.job = job;
-    t.escape.status = std::string(to_string(run.status));
-    t.escape.output_clean = run.output == fx.clean_output;
-    t.escape.applied = t.record;
-    t.escape.minimized = minimize(t.record, [&](const MutationRecord& r) {
-      return classify(execute(fx, r), fx.clean_output);
-    });
-    // Static-layer attribution: which lint rules fire on the tampered
-    // image (none for pure fault schedules — those are invisible offline).
-    auto image = fx.base_image;
-    sim::SimConfig config = fx.base_config;
-    apply(t.record, image, config, fx.ctx());
-    t.escape.lint =
-        verify::error_rules(verify::lint(fx.model, image, fx.device_spec));
+    if (t.cls == TrialClass::kEscaped) {
+      t.escape.job = job;
+      t.escape.status = std::string(to_string(run.status));
+      t.escape.output_clean = run.output == fx.clean_output;
+      t.escape.applied = t.record;
+      t.escape.minimized = minimize(t.record, [&](const MutationRecord& r) {
+        return classify(execute(fx, r), fx.clean_output);
+      });
+      // Static-layer attribution: which lint rules fire on the tampered
+      // image (none for pure fault schedules — those are invisible offline).
+      auto image = fx.base_image;
+      sim::SimConfig config = fx.base_config;
+      apply(t.record, image, config, fx.ctx());
+      t.escape.lint =
+          verify::error_rules(verify::lint(fx.model, image, fx.device_spec));
+    }
   } catch (const std::exception& e) {
     // A trial-level failure (replay error, backend transport loss) is an
     // escape with the error as its status: loud in the document, gating
     // the exit code, never sinking the campaign.
+    trial_error = true;
     t.cls = TrialClass::kEscaped;
     t.escape.job = job;
     t.escape.status = std::string("error: ") + e.what();
     t.escape.applied = t.record;
     t.escape.minimized = t.record;
   }
+  // Deterministic outcomes are cacheable; environmental failures (the
+  // catch path — e.g. a lost transport) must retry on the next run.
+  if (store != nullptr && !trial_error)
+    store->store(key, kTrialKind, encode_trial_payload(t));
   return t;
 }
 
@@ -289,7 +461,8 @@ Trial run_trial(const Fixture& fx, std::uint64_t job, const Rng& base) {
 
 CampaignResult run_campaign(const CampaignSpec& spec, unsigned threads,
                             const CellProgressFn& progress,
-                            driver::ShardSpec shard) {
+                            driver::ShardSpec shard,
+                            cache::ResultStore* store) {
   shard.validate();
   if (spec.cells.empty()) throw Error("campaign: no matrix cells");
   if (spec.jobs_per_cell == 0)
@@ -321,7 +494,8 @@ CampaignResult run_campaign(const CampaignSpec& spec, unsigned threads,
   result.threads_used =
       driver::for_each_index(jobs.size(), threads, [&](std::size_t i) {
         const std::uint64_t g = jobs[i];
-        trials[i] = run_trial(*fixtures[g / spec.jobs_per_cell], g, base);
+        trials[i] =
+            run_trial(*fixtures[g / spec.jobs_per_cell], g, base, store);
       });
   result.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
@@ -340,6 +514,7 @@ CampaignResult run_campaign(const CampaignSpec& spec, unsigned threads,
   for (std::size_t i = 0; i < trials.size(); ++i) {
     const Trial& t = trials[i];
     auto& cell = result.cells[jobs[i] / spec.jobs_per_cell];
+    if (t.from_cache) ++result.cached_trials;
     ++cell.jobs;
     for (const Mutation& m : t.record)
       ++cell.mutations[static_cast<std::size_t>(m.kind)];
@@ -370,18 +545,6 @@ CampaignResult run_campaign(const CampaignSpec& spec, unsigned threads,
 // ---------------------------------------------------------------------------
 // JSON document
 // ---------------------------------------------------------------------------
-
-namespace {
-
-constexpr std::string_view kSchema = "sofia-attack-campaign-v1";
-
-void record_to_json(const MutationRecord& record, json::Writer& w) {
-  w.begin_array();
-  for (const Mutation& m : record) to_json(m, w);
-  w.end_array();
-}
-
-}  // namespace
 
 std::string to_json(const CampaignResult& result) {
   json::Writer w(2);
@@ -464,52 +627,6 @@ std::string to_json(const CampaignResult& result) {
 // ---------------------------------------------------------------------------
 // Shard merge
 // ---------------------------------------------------------------------------
-
-namespace {
-
-const json::Value& req(const json::Value& doc, std::string_view key,
-                       const std::string& label) {
-  const auto* v = doc.find(key);
-  if (v == nullptr)
-    throw Error("merge: " + label + " is missing '" + std::string(key) + "'");
-  return *v;
-}
-
-bool as_bool(const json::Value& v, std::string_view context) {
-  if (v.kind != json::Value::Kind::kBool)
-    throw Error("merge: '" + std::string(context) + "' is not a boolean");
-  return v.boolean;
-}
-
-crypto::Granularity parse_granularity(const std::string& name) {
-  for (const auto g :
-       {crypto::Granularity::kPerPair, crypto::Granularity::kPerWord})
-    if (crypto::to_string(g) == name) return g;
-  throw Error("merge: unknown granularity '" + name + "'");
-}
-
-sim::ResetCause parse_cause(const std::string& name) {
-  for (std::size_t i = 0; i < kResetCauseCount; ++i)
-    if (sim::to_string(static_cast<sim::ResetCause>(i)) == name)
-      return static_cast<sim::ResetCause>(i);
-  throw Error("merge: unknown reset cause '" + name + "'");
-}
-
-verify::Rule parse_rule(const std::string& name) {
-  for (const auto& info : verify::rule_catalog())
-    if (info.name == name) return info.rule;
-  throw Error("merge: unknown lint rule '" + name + "'");
-}
-
-MutationRecord record_from_json(const json::Value& v,
-                                std::string_view context) {
-  MutationRecord record;
-  for (const auto& m : v.as_array(context))
-    record.push_back(mutation_from_json(m));
-  return record;
-}
-
-}  // namespace
 
 std::string merge_json(const std::vector<std::string>& documents) {
   if (documents.empty()) throw Error("merge: no input documents");

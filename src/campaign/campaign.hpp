@@ -24,6 +24,7 @@
 #include <string_view>
 #include <vector>
 
+#include "cache/result_store.hpp"
 #include "campaign/mutation.hpp"
 #include "crypto/key_set.hpp"
 #include "driver/sweep.hpp"
@@ -141,6 +142,9 @@ struct CampaignResult {
   std::vector<CellResult> cells;   ///< one per spec cell, in spec order
   double wall_seconds = 0;         ///< measured, NOT part of the JSON
   unsigned threads_used = 1;       ///< ditto
+  /// Trials served from the result cache (0 without one; NOT in the JSON —
+  /// cached and fresh runs must render byte-identically).
+  std::uint64_t cached_trials = 0;
 
   std::uint64_t jobs_run() const;
   /// No escapes in any authenticated cell (the exit-code gate; the "null"
@@ -157,9 +161,16 @@ using CellProgressFn = std::function<void(const CellResult&)>;
 /// folds results in job-index order. Throws sofia::Error for unusable
 /// specs (no cells, zero jobs, unknown scheme/backend/workload, a victim
 /// whose clean run fails); per-trial outcomes are data, never errors.
+///
+/// With a non-null `store`, every trial's outcome is looked up by a digest
+/// over the cell's attack surface (profile fingerprint, base + donor image
+/// bytes, canonical SimConfig encoding, campaign seed) and the global job
+/// index before executing — a killed campaign re-run against the same
+/// cache resumes from disk and converges to the same bytes.
 CampaignResult run_campaign(const CampaignSpec& spec, unsigned threads,
                             const CellProgressFn& progress = {},
-                            driver::ShardSpec shard = {});
+                            driver::ShardSpec shard = {},
+                            cache::ResultStore* store = nullptr);
 
 /// Render as a deterministic sofia-attack-campaign-v1 document.
 std::string to_json(const CampaignResult& result);

@@ -4,7 +4,9 @@
 #include <chrono>
 #include <mutex>
 
+#include "assembler/image_io.hpp"
 #include "driver/pool.hpp"
+#include "remote/codec.hpp"
 #include "scheme/scheme.hpp"
 #include "support/cli.hpp"
 #include "support/error.hpp"
@@ -81,6 +83,12 @@ bool SweepResult::all_ok() const {
                      [](const JobResult& r) { return r.ok; });
 }
 
+std::size_t SweepResult::cached_jobs() const {
+  return static_cast<std::size_t>(
+      std::count_if(jobs.begin(), jobs.end(),
+                    [](const JobResult& r) { return r.from_cache; }));
+}
+
 void ShardSpec::validate() const {
   if (count == 0) throw Error("shard: count must be >= 1");
   if (index >= count)
@@ -108,19 +116,229 @@ ShardSpec ShardSpec::parse(std::string_view text) {
 
 namespace {
 
-JobResult run_job(const JobSpec& job) {
+// ---- result-cache payload codec -------------------------------------------
+//
+// The cache stores the *semantic* outcome of a job (measurement numbers,
+// or the error + lint findings), never the rendered sweep record: the same
+// semantic cell can appear at different matrix indices and under different
+// config labels, and the document renderer must stay the single source of
+// formatting so cached and fresh runs are byte-identical.
+
+constexpr std::string_view kJobKind = "sweep-job";
+constexpr std::string_view kJobPayloadSchema = "sofia-cache-sweep-job-v1";
+
+void stats_to_json(const sim::SimStats& s, json::Writer& w) {
+  w.begin_object();
+  w.member("cycles", s.cycles);
+  w.member("insts", s.insts);
+  w.member("nops", s.nops);
+  w.member("loads", s.loads);
+  w.member("stores", s.stores);
+  w.member("branches", s.branches);
+  w.member("taken", s.taken);
+  w.member("icache_hits", s.icache_hits);
+  w.member("icache_misses", s.icache_misses);
+  w.member("fetch_words", s.fetch_words);
+  w.member("mac_words", s.mac_words);
+  w.member("ctr_ops", s.ctr_ops);
+  w.member("cbc_ops", s.cbc_ops);
+  w.member("blocks_fetched", s.blocks_fetched);
+  w.member("mac_verifications", s.mac_verifications);
+  w.member("store_gate_stalls", s.store_gate_stalls);
+  w.member("queue_empty_cycles", s.queue_empty_cycles);
+  w.member("exec_stall_cycles", s.exec_stall_cycles);
+  w.end_object();
+}
+
+std::uint64_t req_uint(const json::Value& v, std::string_view key) {
+  const auto* m = v.find(key);
+  if (m == nullptr)
+    throw Error("cache payload: missing '" + std::string(key) + "'");
+  return m->as_uint(key);
+}
+
+const std::string& req_string(const json::Value& v, std::string_view key) {
+  const auto* m = v.find(key);
+  if (m == nullptr)
+    throw Error("cache payload: missing '" + std::string(key) + "'");
+  return m->as_string(key);
+}
+
+std::int64_t req_int(const json::Value& v, std::string_view key) {
+  const auto* m = v.find(key);
+  if (m == nullptr || m->kind != json::Value::Kind::kNumber)
+    throw Error("cache payload: missing integer '" + std::string(key) + "'");
+  return std::stoll(m->number);
+}
+
+sim::SimStats stats_from_json(const json::Value& v) {
+  sim::SimStats s;
+  s.cycles = req_uint(v, "cycles");
+  s.insts = req_uint(v, "insts");
+  s.nops = req_uint(v, "nops");
+  s.loads = req_uint(v, "loads");
+  s.stores = req_uint(v, "stores");
+  s.branches = req_uint(v, "branches");
+  s.taken = req_uint(v, "taken");
+  s.icache_hits = req_uint(v, "icache_hits");
+  s.icache_misses = req_uint(v, "icache_misses");
+  s.fetch_words = req_uint(v, "fetch_words");
+  s.mac_words = req_uint(v, "mac_words");
+  s.ctr_ops = req_uint(v, "ctr_ops");
+  s.cbc_ops = req_uint(v, "cbc_ops");
+  s.blocks_fetched = req_uint(v, "blocks_fetched");
+  s.mac_verifications = req_uint(v, "mac_verifications");
+  s.store_gate_stalls = req_uint(v, "store_gate_stalls");
+  s.queue_empty_cycles = req_uint(v, "queue_empty_cycles");
+  s.exec_stall_cycles = req_uint(v, "exec_stall_cycles");
+  return s;
+}
+
+std::string encode_job_payload(const JobResult& r) {
+  json::Writer w(-1);
+  w.begin_object();
+  w.member("schema", kJobPayloadSchema);
+  w.member("ok", r.ok);
+  if (!r.ok) {
+    w.member("error", r.error);
+    w.key("lint").begin_array();
+    for (const auto& f : r.lint) {
+      w.begin_object();
+      w.member("rule", verify::to_string(f.rule));
+      w.member("severity", verify::to_string(f.severity));
+      w.member("block", f.block);
+      w.member("insn", f.insn);
+      w.member("message", f.message);
+      w.end_object();
+    }
+    w.end_array();
+  } else {
+    w.key("m").begin_object();
+    w.member("name", r.m.name);
+    w.member("vanilla_text_bytes", r.m.vanilla_text_bytes);
+    w.member("sofia_text_bytes", r.m.sofia_text_bytes);
+    w.member("vanilla_cycles", r.m.vanilla_cycles);
+    w.member("sofia_cycles", r.m.sofia_cycles);
+    w.key("vanilla_stats");
+    stats_to_json(r.m.vanilla_stats, w);
+    w.key("sofia_stats");
+    stats_to_json(r.m.sofia_stats, w);
+    w.end_object();
+  }
+  w.end_object();
+  return w.str();
+}
+
+verify::Rule parse_rule(const std::string& name) {
+  for (const auto& info : verify::rule_catalog())
+    if (info.name == name) return info.rule;
+  throw Error("cache payload: unknown lint rule '" + name + "'");
+}
+
+verify::Severity parse_severity(const std::string& name) {
+  for (const auto s : {verify::Severity::kNote, verify::Severity::kWarning,
+                       verify::Severity::kError})
+    if (verify::to_string(s) == name) return s;
+  throw Error("cache payload: unknown severity '" + name + "'");
+}
+
+/// Decode a cached payload into `r` (everything but `job`, which the
+/// caller owns). Returns false — leaving `r` untouched — on any mismatch,
+/// so an undecodable entry degrades to a miss, never a crash.
+bool decode_job_payload(const std::string& payload, JobResult& r) {
+  try {
+    const json::Value doc = json::parse(payload);
+    const auto* schema = doc.find("schema");
+    if (schema == nullptr || schema->as_string("schema") != kJobPayloadSchema)
+      return false;
+    JobResult out;
+    out.job = r.job;
+    const auto* ok = doc.find("ok");
+    if (ok == nullptr || ok->kind != json::Value::Kind::kBool) return false;
+    out.ok = ok->boolean;
+    if (!out.ok) {
+      out.error = req_string(doc, "error");
+      const auto* lint = doc.find("lint");
+      if (lint == nullptr) return false;
+      for (const auto& jf : lint->as_array("lint")) {
+        verify::Finding f;
+        f.rule = parse_rule(req_string(jf, "rule"));
+        f.severity = parse_severity(req_string(jf, "severity"));
+        f.block = req_int(jf, "block");
+        f.insn = req_int(jf, "insn");
+        f.message = req_string(jf, "message");
+        out.lint.push_back(std::move(f));
+      }
+    } else {
+      const auto* m = doc.find("m");
+      if (m == nullptr) return false;
+      out.m.name = req_string(*m, "name");
+      out.m.vanilla_text_bytes =
+          static_cast<std::uint32_t>(req_uint(*m, "vanilla_text_bytes"));
+      out.m.sofia_text_bytes =
+          static_cast<std::uint32_t>(req_uint(*m, "sofia_text_bytes"));
+      out.m.vanilla_cycles = req_uint(*m, "vanilla_cycles");
+      out.m.sofia_cycles = req_uint(*m, "sofia_cycles");
+      const auto* vs = m->find("vanilla_stats");
+      const auto* ss = m->find("sofia_stats");
+      if (vs == nullptr || ss == nullptr) return false;
+      out.m.vanilla_stats = stats_from_json(*vs);
+      out.m.sofia_stats = stats_from_json(*ss);
+    }
+    r = std::move(out);
+    return true;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+/// The content address of one job: everything that can change its result.
+/// The hardened image bytes are the load-bearing field — they capture the
+/// whole toolchain (assembler, transform, scheme, keys, layout); profile
+/// fingerprint, canonical SimConfig encoding (shared with the remote wire
+/// protocol) and the seed cover the device and harness side.
+cache::Key job_key(const JobSpec& job, pipeline::Pipeline& p) {
+  cache::KeyBuilder kb("sofia-cache-key-v1/sweep-job");
+  kb.field("fingerprint", job.config.fingerprint());
+  kb.field("image", assembler::serialize_image(p.hardened().image));
+  kb.field("config", remote::encode_config(p.effective_sim_config()));
+  kb.field("workload", job.workload);
+  kb.field("seed", job.seed);
+  kb.field("size", job.size);
+  kb.field("lint", job.lint ? 1 : 0);
+  return kb.finish();
+}
+
+JobResult run_job(const JobSpec& job, cache::ResultStore* store) {
   JobResult result;
   result.job = job;
+  cache::Key key{};
+  bool have_key = false;
   try {
     const auto& wl = workloads::workload(job.workload);
+    auto p = pipeline::Pipeline::from_workload(wl, job.seed, job.size,
+                                               job.config.opts.profile);
+    p.set_sim_config(job.config.opts.config);
+    p.set_memory_layout(job.config.opts.mem);
+    if (store != nullptr) {
+      // Key derivation runs the transform (cheap) but neither device run
+      // (the expensive part a hit skips).
+      key = job_key(job, p);
+      have_key = true;
+      if (auto payload = store->load(key, kJobKind)) {
+        if (decode_job_payload(*payload, result)) {
+          result.from_cache = true;
+          return result;
+        }
+        store->warn("cache: sweep-job payload for job " +
+                    std::to_string(job.index) +
+                    " is undecodable; re-executing");
+      }
+    }
     if (job.lint) {
       // Lint prefilter: verify the hardened image statically and fail the
       // job before either device run; the same session then measures, so
       // the transform is not repeated.
-      auto p = pipeline::Pipeline::from_workload(wl, job.seed, job.size,
-                                                 job.config.opts.profile);
-      p.set_sim_config(job.config.opts.config);
-      p.set_memory_layout(job.config.opts.mem);
       const verify::Report report = p.lint();
       if (!report.clean()) {
         for (const auto& f : report.findings)
@@ -130,24 +348,28 @@ JobResult run_job(const JobSpec& job) {
             "lint: " + std::to_string(result.lint.size()) +
             " error-severity finding(s), first: " +
             std::string(verify::to_string(result.lint.front().rule));
+        if (store != nullptr && have_key)
+          store->store(key, kJobKind, encode_job_payload(result));
         return result;
       }
-      result.m = p.measure();
-    } else {
-      result.m = bench::measure_workload(wl, job.seed, job.size,
-                                         job.config.opts);
     }
+    result.m = p.measure();
     result.ok = true;
   } catch (const std::exception& e) {
     result.error = e.what();
   }
+  // Measurements AND deterministic failures (functional mismatches, lint)
+  // are cacheable; only jobs that died before a key existed are not.
+  if (store != nullptr && have_key)
+    store->store(key, kJobKind, encode_job_payload(result));
   return result;
 }
 
 }  // namespace
 
 SweepResult run_sweep(const SweepSpec& spec, unsigned threads,
-                      const ProgressFn& progress, ShardSpec shard) {
+                      const ProgressFn& progress, ShardSpec shard,
+                      cache::ResultStore* store) {
   shard.validate();
   const auto all_jobs = expand_jobs(spec);
   std::vector<JobSpec> jobs;
@@ -169,7 +391,7 @@ SweepResult run_sweep(const SweepSpec& spec, unsigned threads,
   std::mutex progress_mutex;
   result.threads_used =
       for_each_index(jobs.size(), threads, [&](std::size_t i) {
-        result.jobs[i] = run_job(jobs[i]);
+        result.jobs[i] = run_job(jobs[i], store);
         if (progress) {
           const std::lock_guard<std::mutex> lock(progress_mutex);
           progress(result.jobs[i]);

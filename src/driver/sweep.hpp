@@ -16,6 +16,7 @@
 #include <string_view>
 #include <vector>
 
+#include "cache/result_store.hpp"
 #include "support/measure.hpp"
 #include "verify/verify.hpp"
 
@@ -89,6 +90,9 @@ struct JobResult {
   /// Error-severity findings when the lint prefilter failed the job; they
   /// land in the job's JSON record as a "lint" array.
   std::vector<verify::Finding> lint;
+  /// Served from the result cache (the simulations were skipped). Not part
+  /// of the JSON document — cached and fresh runs must stay byte-identical.
+  bool from_cache = false;
 };
 
 /// One machine's slice of a multi-machine sweep: run only the jobs with
@@ -113,6 +117,8 @@ struct SweepResult {
   unsigned threads_used = 1;    ///< ditto
 
   bool all_ok() const;
+  /// Jobs served from the result cache (0 without one).
+  std::size_t cached_jobs() const;
 };
 
 /// Called after each job completes (serialized by the driver; safe to
@@ -125,8 +131,15 @@ using ProgressFn = std::function<void(const JobResult&)>;
 /// With a non-trivial `shard`, only that slice of the job list runs; seeds
 /// are fixed at expansion time, so shard results are identical to the same
 /// jobs' results in an unsharded run.
+///
+/// With a non-null `store`, each job's result is looked up by the digest
+/// of its semantic inputs (profile fingerprint, hardened image bytes,
+/// canonical SimConfig encoding, seed) before the device runs, and stored
+/// after them — interrupted or repeated sweeps resume from disk, and the
+/// rendered document stays byte-identical to an uncached run.
 SweepResult run_sweep(const SweepSpec& spec, unsigned threads,
-                      const ProgressFn& progress = {}, ShardSpec shard = {});
+                      const ProgressFn& progress = {}, ShardSpec shard = {},
+                      cache::ResultStore* store = nullptr);
 
 /// Render the sweep as a deterministic JSON document (schema documented in
 /// the README): sweep name + one record per job with its matrix index, the

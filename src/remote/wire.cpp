@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "assembler/image_io.hpp"
+#include "remote/codec.hpp"
 #include "support/error.hpp"
 
 namespace sofia::remote {
@@ -13,214 +14,12 @@ namespace {
 constexpr std::uint8_t kMagic[4] = {'S', 'F', 'R', 'M'};
 
 [[noreturn]] void wire_fail(const char* what, const std::string& detail) {
-  throw Error("remote-wire: " + std::string(what) + ": " + detail);
+  codec_fail(what, detail);
 }
 
-// ---- byte writer ----------------------------------------------------------
-
-class ByteWriter {
- public:
-  void u8(std::uint8_t v) { out_.push_back(v); }
-  void u16(std::uint16_t v) {
-    u8(static_cast<std::uint8_t>(v));
-    u8(static_cast<std::uint8_t>(v >> 8));
-  }
-  void u32(std::uint32_t v) {
-    u16(static_cast<std::uint16_t>(v));
-    u16(static_cast<std::uint16_t>(v >> 16));
-  }
-  void u64(std::uint64_t v) {
-    u32(static_cast<std::uint32_t>(v));
-    u32(static_cast<std::uint32_t>(v >> 32));
-  }
-  void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
-  void str(const std::string& s) {
-    u32(static_cast<std::uint32_t>(s.size()));
-    out_.insert(out_.end(), s.begin(), s.end());
-  }
-  void bytes(const std::vector<std::uint8_t>& b) {
-    u32(static_cast<std::uint32_t>(b.size()));
-    out_.insert(out_.end(), b.begin(), b.end());
-  }
-  std::vector<std::uint8_t> take() { return std::move(out_); }
-
- private:
-  std::vector<std::uint8_t> out_;
-};
-
-// ---- byte reader ----------------------------------------------------------
-
-/// Sequential decoder whose every read names the message and field it was
-/// parsing, so a truncated or corrupt payload produces "remote-wire:
-/// run-request: truncated reading field 'config.max_cycles'" rather than a
-/// zeroed struct.
-class ByteReader {
- public:
-  ByteReader(const std::vector<std::uint8_t>& bytes, const char* what)
-      : bytes_(bytes), what_(what) {}
-
-  std::uint8_t u8(const char* field) {
-    need(1, field);
-    return bytes_[pos_++];
-  }
-  std::uint16_t u16(const char* field) {
-    need(2, field);
-    const std::uint16_t v = static_cast<std::uint16_t>(
-        bytes_[pos_] | (static_cast<std::uint16_t>(bytes_[pos_ + 1]) << 8));
-    pos_ += 2;
-    return v;
-  }
-  std::uint32_t u32(const char* field) {
-    need(4, field);
-    std::uint32_t v = 0;
-    for (int i = 3; i >= 0; --i) v = (v << 8) | bytes_[pos_ + static_cast<std::size_t>(i)];
-    pos_ += 4;
-    return v;
-  }
-  std::uint64_t u64(const char* field) {
-    const std::uint64_t lo = u32(field);
-    return lo | (static_cast<std::uint64_t>(u32(field)) << 32);
-  }
-  std::int32_t i32(const char* field) {
-    return static_cast<std::int32_t>(u32(field));
-  }
-  bool boolean(const char* field) {
-    const std::uint8_t v = u8(field);
-    if (v > 1)
-      fail(field, "invalid boolean value " + std::to_string(v));
-    return v != 0;
-  }
-  std::string str(const char* field) {
-    const std::uint32_t n = length(field);
-    std::string s;
-    if (n != 0)
-      s.assign(reinterpret_cast<const char*>(bytes_.data() + pos_), n);
-    pos_ += n;
-    return s;
-  }
-  std::vector<std::uint8_t> bytes(const char* field) {
-    const std::uint32_t n = length(field);
-    std::vector<std::uint8_t> b(bytes_.begin() + static_cast<std::ptrdiff_t>(pos_),
-                                bytes_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
-    pos_ += n;
-    return b;
-  }
-  /// A count of fixed-size records; rejected when the claimed total exceeds
-  /// the bytes actually present (oversized-length defense).
-  std::uint32_t count(const char* field, std::size_t record_size) {
-    const std::uint32_t n = u32(field);
-    if (record_size != 0 && n > remaining() / record_size)
-      fail(field, "count " + std::to_string(n) + " exceeds the " +
-                      std::to_string(remaining()) + " remaining payload bytes");
-    return n;
-  }
-  void expect_end() {
-    if (pos_ != bytes_.size())
-      wire_fail(what_, std::to_string(bytes_.size() - pos_) +
-                           " trailing payload byte(s) after the last field");
-  }
-  std::size_t remaining() const { return bytes_.size() - pos_; }
-
-  [[noreturn]] void fail(const char* field, const std::string& detail) {
-    wire_fail(what_, "field '" + std::string(field) + "': " + detail);
-  }
-
- private:
-  void need(std::size_t n, const char* field) {
-    if (remaining() < n)
-      wire_fail(what_, "truncated reading field '" + std::string(field) +
-                           "' (" + std::to_string(remaining()) + " of " +
-                           std::to_string(n) + " byte(s) left)");
-  }
-  std::uint32_t length(const char* field) {
-    const std::uint32_t n = u32(field);
-    if (n > remaining())
-      fail(field, "length " + std::to_string(n) + " exceeds the " +
-                      std::to_string(remaining()) + " remaining payload bytes");
-    return n;
-  }
-
-  const std::vector<std::uint8_t>& bytes_;
-  const char* what_;
-  std::size_t pos_ = 0;
-};
-
-// ---- field-level codecs ---------------------------------------------------
-
-void put_key(ByteWriter& w, const crypto::CipherKey& key) {
-  for (const std::uint8_t b : key) w.u8(b);
-}
-
-crypto::CipherKey get_key(ByteReader& r, const char* field) {
-  crypto::CipherKey key{};
-  for (auto& b : key) b = r.u8(field);
-  return key;
-}
-
-void put_config(ByteWriter& w, const sim::SimConfig& c) {
-  w.u32(c.fetch_queue);
-  w.u32(c.redirect_bubble);
-  w.u32(c.fetch_words_per_cycle);
-  w.u32(c.icache.size_bytes);
-  w.u32(c.icache.line_bytes);
-  w.u32(c.icache.miss_penalty);
-  w.u32(c.load_latency);
-  w.u32(c.mul_latency);
-  w.u8(static_cast<std::uint8_t>(c.keys.kind));
-  put_key(w, c.keys.k1);
-  put_key(w, c.keys.k2);
-  put_key(w, c.keys.k3);
-  w.u16(c.keys.omega);
-  w.u32(c.policy.words_per_block);
-  w.u32(c.policy.store_min_word);
-  w.u32(c.cipher.latency);
-  w.u8(c.cipher.alternate ? 1 : 0);
-  w.u8(c.cipher.pipelined ? 1 : 0);
-  w.u32(c.store_gate_headstart);
-  w.u8(c.fault.enabled ? 1 : 0);
-  w.u64(c.fault.fetch_index);
-  w.u32(static_cast<std::uint32_t>(c.fault.bit));
-  w.u64(c.max_cycles);
-  w.u8(c.collect_trace ? 1 : 0);
-  w.u64(static_cast<std::uint64_t>(c.max_trace));
-  // v2: the protection scheme the device must run (named, not an index, so
-  // worker and coordinator registries may grow independently).
-  w.str(c.scheme);
-}
-
-sim::SimConfig get_config(ByteReader& r) {
-  sim::SimConfig c;
-  c.fetch_queue = r.u32("config.fetch_queue");
-  c.redirect_bubble = r.u32("config.redirect_bubble");
-  c.fetch_words_per_cycle = r.u32("config.fetch_words_per_cycle");
-  c.icache.size_bytes = r.u32("config.icache.size_bytes");
-  c.icache.line_bytes = r.u32("config.icache.line_bytes");
-  c.icache.miss_penalty = r.u32("config.icache.miss_penalty");
-  c.load_latency = r.u32("config.load_latency");
-  c.mul_latency = r.u32("config.mul_latency");
-  const std::uint8_t kind = r.u8("config.keys.kind");
-  if (kind > static_cast<std::uint8_t>(crypto::CipherKind::kSpeck64_128))
-    r.fail("config.keys.kind", "unknown cipher kind " + std::to_string(kind));
-  c.keys.kind = static_cast<crypto::CipherKind>(kind);
-  c.keys.k1 = get_key(r, "config.keys.k1");
-  c.keys.k2 = get_key(r, "config.keys.k2");
-  c.keys.k3 = get_key(r, "config.keys.k3");
-  c.keys.omega = r.u16("config.keys.omega");
-  c.policy.words_per_block = r.u32("config.policy.words_per_block");
-  c.policy.store_min_word = r.u32("config.policy.store_min_word");
-  c.cipher.latency = r.u32("config.cipher.latency");
-  c.cipher.alternate = r.boolean("config.cipher.alternate");
-  c.cipher.pipelined = r.boolean("config.cipher.pipelined");
-  c.store_gate_headstart = r.u32("config.store_gate_headstart");
-  c.fault.enabled = r.boolean("config.fault.enabled");
-  c.fault.fetch_index = r.u64("config.fault.fetch_index");
-  c.fault.bit = r.u32("config.fault.bit");
-  c.max_cycles = r.u64("config.max_cycles");
-  c.collect_trace = r.boolean("config.collect_trace");
-  c.max_trace = static_cast<std::size_t>(r.u64("config.max_trace"));
-  c.scheme = r.str("config.scheme");
-  return c;
-}
+// ByteWriter / ByteReader and the LoadImage/SimConfig canonical codecs live
+// in remote/codec.hpp — shared with the result cache, which keys entries by
+// a digest over the exact bytes a run-request would carry.
 
 void put_stats(ByteWriter& w, const sim::SimStats& s) {
   w.u64(s.cycles);

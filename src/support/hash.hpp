@@ -1,0 +1,62 @@
+// Dependency-free SHA-256 (FIPS 180-4) for content addressing — the result
+// cache keys every entry by a digest of its job's inputs (device-profile
+// fingerprint, hardened image bytes, canonical SimConfig bytes, seed), so
+// the hash must be collision-resistant, stable across platforms and
+// available without linking any external crypto library. The streaming
+// Hasher API processes image-sized inputs without buffering them twice;
+// test_support pins the implementation against the NIST test vectors.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sofia::support {
+
+/// A finished SHA-256 digest (32 bytes).
+using Sha256Digest = std::array<std::uint8_t, 32>;
+
+/// Lowercase-hex rendering of a digest (64 characters).
+std::string to_hex(const Sha256Digest& digest);
+
+/// Streaming SHA-256: update() any number of times, then digest() once.
+/// Further update() calls after digest() throw sofia::Error (the padded
+/// final block must not be extended silently).
+class Sha256 {
+ public:
+  Sha256();
+
+  Sha256& update(const void* data, std::size_t size);
+  Sha256& update(std::string_view text) {
+    return update(text.data(), text.size());
+  }
+  Sha256& update(const std::vector<std::uint8_t>& bytes) {
+    return update(bytes.data(), bytes.size());
+  }
+
+  /// Pad, finish and return the digest; the hasher is consumed.
+  Sha256Digest digest();
+
+ private:
+  void compress(const std::uint8_t* block);
+  void absorb(const std::uint8_t* p, std::size_t size);
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::size_t buffered_ = 0;
+  std::uint64_t total_bytes_ = 0;
+  bool finished_ = false;
+};
+
+/// One-shot conveniences.
+Sha256Digest sha256(const void* data, std::size_t size);
+Sha256Digest sha256(std::string_view text);
+Sha256Digest sha256(const std::vector<std::uint8_t>& bytes);
+
+/// One-shot digest, rendered as lowercase hex.
+std::string sha256_hex(std::string_view text);
+
+}  // namespace sofia::support

@@ -8,6 +8,7 @@
 
 #include "support/bits.hpp"
 #include "support/error.hpp"
+#include "support/hash.hpp"
 #include "support/hex.hpp"
 #include "support/io.hpp"
 #include "support/rng.hpp"
@@ -259,6 +260,61 @@ TEST(Io, FailuresNameThePath) {
   // A full device: the write itself may be accepted into the buffer, but
   // the post-flush stream check must report failure.
   EXPECT_THROW(io::write_file("/dev/full", "data"), Error);
+}
+
+// NIST FIPS 180-4 / CAVP short-message vectors. The result cache keys every
+// entry by these digests, so a wrong hash silently poisons the cache.
+TEST(Sha256, NistShortVectors) {
+  EXPECT_EQ(support::sha256_hex(""),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+  EXPECT_EQ(support::sha256_hex("abc"),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  // The two-block message from FIPS 180-4 appendix B.2.
+  EXPECT_EQ(support::sha256_hex(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+  // The four-block message from the NIST examples (SHA256.pdf, example 3
+  // input reused at 112 bytes).
+  EXPECT_EQ(support::sha256_hex("abcdefghbcdefghicdefghijdefghijkefghijklfghi"
+                                "jklmghijklmnhijklmnoijklmnopjklmnopqklmnopqr"
+                                "lmnopqrsmnopqrstnopqrstu"),
+            "cf5b16a778af8380036ce59e7b0492370b249b11e8f07a51afac45037afee9d1");
+}
+
+TEST(Sha256, MillionRepeatedA) {
+  support::Sha256 h;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  EXPECT_EQ(support::to_hex(h.digest()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, StreamingMatchesOneShotAtEveryChunkSplit) {
+  std::string message;
+  for (int i = 0; i < 200; ++i) message += static_cast<char>(i * 7 + 3);
+  const auto expect = support::sha256(message);
+  // Splits straddling the 64-byte block boundary are the interesting ones.
+  for (std::size_t split = 0; split <= message.size(); split += 13) {
+    support::Sha256 h;
+    h.update(std::string_view(message).substr(0, split));
+    h.update(std::string_view(message).substr(split));
+    EXPECT_EQ(h.digest(), expect) << "split at " << split;
+  }
+}
+
+TEST(Sha256, UpdateAfterDigestThrows) {
+  support::Sha256 h;
+  h.update("abc");
+  (void)h.digest();
+  EXPECT_THROW(h.update("more"), Error);
+}
+
+TEST(Sha256, ToHexIsLowercase64Chars) {
+  const auto d = support::sha256("abc");
+  const std::string hex = support::to_hex(d);
+  ASSERT_EQ(hex.size(), 64u);
+  for (const char c : hex)
+    EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')) << c;
 }
 
 }  // namespace

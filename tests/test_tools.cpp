@@ -7,6 +7,7 @@
 
 #include <array>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <iterator>
 #include <string>
@@ -18,10 +19,11 @@
     !defined(SOFIA_OBJDUMP_BIN) || !defined(SOFIA_REPORT_BIN) || \
     !defined(SOFIA_SWEEP_BIN) || !defined(SOFIA_WORKER_BIN) || \
     !defined(SOFIA_FLEET_BIN) || !defined(SOFIA_LINT_BIN) || \
-    !defined(SOFIA_ATTACK_BIN)
+    !defined(SOFIA_ATTACK_BIN) || !defined(SOFIA_CACHE_BIN)
 #error "SOFIA_ASM_BIN / SOFIA_RUN_BIN / SOFIA_OBJDUMP_BIN / SOFIA_REPORT_BIN \
 / SOFIA_SWEEP_BIN / SOFIA_WORKER_BIN / SOFIA_FLEET_BIN / SOFIA_LINT_BIN / \
-SOFIA_ATTACK_BIN must be injected by the build: configure with -DSOFIA_BUILD_TOOLS=ON so \
+SOFIA_ATTACK_BIN / SOFIA_CACHE_BIN must be injected by the build: configure \
+with -DSOFIA_BUILD_TOOLS=ON so \
 tests/CMakeLists.txt can define them from $<TARGET_FILE:...>"
 #endif
 
@@ -726,6 +728,161 @@ TEST_F(Tools, AttackMatrixJsonDashStreamsToStdout) {
   EXPECT_EQ(doc.find("{\n  \"schema\": \"sofia-attack-matrix-v2\""), 0u) << doc;
 }
 #endif
+
+TEST_F(Tools, SweepCacheWarmRunIsAllHitsAndByteIdentical) {
+  // The resumability contract through the CLI: the second run against the
+  // same cache executes zero jobs, and both documents match a cache-less
+  // run byte for byte. Counters land on stderr, never in the document.
+  const std::string tag = std::to_string(getpid());
+  const std::string dir = "/tmp/sofia_cache_" + tag;
+  const std::string cold = "/tmp/sofia_cache_" + tag + "_cold.json";
+  const std::string warm = "/tmp/sofia_cache_" + tag + "_warm.json";
+  const std::string plain = "/tmp/sofia_cache_" + tag + "_plain.json";
+  const std::string base = std::string(SOFIA_SWEEP_BIN) +
+                           " --smoke --quiet --threads 2";
+  int code = 0;
+  auto out = run_command(base + " --cache " + dir + " --json " + cold, &code);
+  EXPECT_EQ(code, 0) << out;
+  EXPECT_NE(out.find("0 hit(s)"), std::string::npos) << out;
+  out = run_command(base + " --cache " + dir + " --json " + warm, &code);
+  EXPECT_EQ(code, 0) << out;
+  EXPECT_NE(out.find("0 miss(es), 0 stored"), std::string::npos) << out;
+  out = run_command(base + " --json " + plain, &code);
+  EXPECT_EQ(code, 0) << out;
+
+  const auto slurp = [](const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+  };
+  const auto plain_doc = slurp(plain);
+  EXPECT_FALSE(plain_doc.empty());
+  EXPECT_EQ(plain_doc, slurp(cold));
+  EXPECT_EQ(plain_doc, slurp(warm));
+  EXPECT_EQ(plain_doc.find("\"cache\""), std::string::npos)
+      << "the cache must never leak into the sweep document";
+
+  std::filesystem::remove_all(dir);
+  for (const auto& p : {cold, warm, plain}) std::remove(p.c_str());
+}
+
+TEST_F(Tools, SweepCacheEnvFallbackAndStatsSideDocument) {
+  const std::string tag = std::to_string(getpid());
+  const std::string dir = "/tmp/sofia_cache_env_" + tag;
+  int code = 0;
+  // No --cache flag: $SOFIA_CACHE must be picked up.
+  auto out = run_command("SOFIA_CACHE=" + dir + " " +
+                             std::string(SOFIA_SWEEP_BIN) +
+                             " --smoke --quiet --threads 2", &code);
+  EXPECT_EQ(code, 0) << out;
+  EXPECT_NE(out.find("cache: " + dir), std::string::npos) << out;
+
+  // --cache-stats emits the side document; it requires a cache.
+  const std::string stats = "/tmp/sofia_cache_env_" + tag + "_stats.json";
+  out = run_command(std::string(SOFIA_SWEEP_BIN) +
+                        " --smoke --quiet --threads 2 --cache " + dir +
+                        " --cache-stats " + stats, &code);
+  EXPECT_EQ(code, 0) << out;
+  const auto slurp = [](const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+  };
+  const auto doc = slurp(stats);
+  EXPECT_NE(doc.find("\"schema\": \"sofia-cache-stats-v1\""),
+            std::string::npos) << doc;
+  EXPECT_NE(doc.find("\"misses\": 0"), std::string::npos) << doc;
+  out = run_command("env -u SOFIA_CACHE " + std::string(SOFIA_SWEEP_BIN) +
+                        " --smoke --quiet --cache-stats " + stats, &code);
+  EXPECT_EQ(code, 2) << out;
+  EXPECT_NE(out.find("--cache-stats needs --cache"), std::string::npos) << out;
+
+  std::filesystem::remove_all(dir);
+  std::remove(stats.c_str());
+}
+
+TEST_F(Tools, CacheCliStatsVerifyAndGc) {
+  const std::string tag = std::to_string(getpid());
+  const std::string dir = "/tmp/sofia_cache_cli_" + tag;
+  int code = 0;
+  auto out = run_command(std::string(SOFIA_SWEEP_BIN) +
+                             " --smoke --quiet --threads 2 --cache " + dir,
+                         &code);
+  ASSERT_EQ(code, 0) << out;
+
+  out = run_command(std::string(SOFIA_CACHE_BIN) + " stats --cache " + dir,
+                    &code);
+  EXPECT_EQ(code, 0) << out;
+  EXPECT_NE(out.find("sweep-job"), std::string::npos) << out;
+  out = run_command("( " + std::string(SOFIA_CACHE_BIN) + " stats --cache " +
+                        dir + " --json - )", &code);
+  EXPECT_EQ(code, 0) << out;
+  EXPECT_NE(out.find("\"schema\": \"sofia-cache-stats-v1\""),
+            std::string::npos) << out;
+
+  out = run_command(std::string(SOFIA_CACHE_BIN) + " verify --cache " + dir,
+                    &code);
+  EXPECT_EQ(code, 0) << out;
+  EXPECT_NE(out.find("0 bad"), std::string::npos) << out;
+
+  // Garble one entry: verify must name it and exit 1.
+  for (const auto& e :
+       std::filesystem::recursive_directory_iterator(dir)) {
+    if (!e.is_regular_file()) continue;
+    std::fstream f(e.path(), std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(-1, std::ios::end);
+    f.put('!');
+    break;
+  }
+  out = run_command(std::string(SOFIA_CACHE_BIN) + " verify --cache " + dir,
+                    &code);
+  EXPECT_EQ(code, 1) << out;
+  EXPECT_NE(out.find("BAD"), std::string::npos) << out;
+
+  // gc to zero bytes evicts everything.
+  out = run_command(std::string(SOFIA_CACHE_BIN) + " gc --cache " + dir +
+                        " --max-bytes 0", &code);
+  EXPECT_EQ(code, 0) << out;
+  EXPECT_NE(out.find("kept 0"), std::string::npos) << out;
+
+  // Usage errors: gc without --max-bytes, and no cache directory at all.
+  out = run_command(std::string(SOFIA_CACHE_BIN) + " gc --cache " + dir,
+                    &code);
+  EXPECT_EQ(code, 2) << out;
+  out = run_command("env -u SOFIA_CACHE " + std::string(SOFIA_CACHE_BIN) +
+                        " stats", &code);
+  EXPECT_EQ(code, 1) << out;
+  EXPECT_NE(out.find("no cache directory"), std::string::npos) << out;
+
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(Tools, FleetSharesOneCacheAcrossWorkers) {
+  const std::string tag = std::to_string(getpid());
+  const std::string dir = "/tmp/sofia_fleet_cache_" + tag;
+  const std::string first = "/tmp/sofia_fleet_cache_" + tag + "_1.json";
+  const std::string second = "/tmp/sofia_fleet_cache_" + tag + "_2.json";
+  int code = 0;
+  auto out = run_command(std::string(SOFIA_FLEET_BIN) +
+                             " --smoke --workers 2 --threads 1 --cache " + dir +
+                             " --quiet --json " + first, &code);
+  EXPECT_EQ(code, 0) << out;
+  // A different worker split against the same cache: all hits, same bytes.
+  out = run_command(std::string(SOFIA_FLEET_BIN) +
+                        " --smoke --workers 3 --threads 1 --cache " + dir +
+                        " --quiet --json " + second, &code);
+  EXPECT_EQ(code, 0) << out;
+  const auto slurp = [](const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+  };
+  const auto doc = slurp(first);
+  EXPECT_FALSE(doc.empty());
+  EXPECT_EQ(doc, slurp(second));
+  std::filesystem::remove_all(dir);
+  for (const auto& p : {first, second}) std::remove(p.c_str());
+}
 
 TEST_F(Tools, SweepListsMatricesAndRejectsUnknown) {
   int code = 0;

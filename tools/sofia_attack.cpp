@@ -17,6 +17,7 @@
 #include <thread>
 #include <vector>
 
+#include "cache/result_store.hpp"
 #include "campaign/campaign.hpp"
 #include "pipeline/device_profile.hpp"
 #include "scheme/scheme.hpp"
@@ -24,6 +25,31 @@
 #include "support/cli.hpp"
 #include "support/error.hpp"
 #include "support/io.hpp"
+#include "support/json.hpp"
+
+namespace {
+
+/// The run's cache counters as a side document ({"cache": {...}} stanza);
+/// the campaign document itself stays byte-identical with and without one.
+std::string cache_stats_json(const sofia::cache::ResultStore& store) {
+  const auto s = store.stats();
+  sofia::json::Writer w(2);
+  w.begin_object();
+  w.member("schema", "sofia-cache-stats-v1");
+  w.key("cache").begin_object();
+  w.member("root", store.root().string());
+  w.member("hits", s.hits);
+  w.member("misses", s.misses);
+  w.member("stored", s.stored);
+  w.member("failures", s.failures);
+  w.end_object();
+  w.end_object();
+  std::string doc = w.str();
+  doc += '\n';
+  return doc;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace sofia;
@@ -33,6 +59,8 @@ int main(int argc, char** argv) {
   std::string granularity;  // empty = keep both granularities
   std::string backend = "functional";
   std::string json_path;
+  std::string cache_dir;
+  std::string cache_stats_path;
   std::string shard_text;
   std::string merge_out;
   std::vector<std::string> merge_inputs;
@@ -71,6 +99,11 @@ int main(int argc, char** argv) {
               "worker threads (default: hardware concurrency)")
       .option("--json", json_path, "PATH",
               "write the campaign document to PATH ('-' = stdout)")
+      .option("--cache", cache_dir, "DIR",
+              "content-addressed result cache: resume interrupted campaigns "
+              "and reuse prior trials (default: $SOFIA_CACHE when set)")
+      .option("--cache-stats", cache_stats_path, "PATH",
+              "write this run's cache hit/miss counters as a JSON document")
       .option("--shard", shard_text, "K/N",
               "run only job indices congruent to K mod N")
       .option("--merge", merge_out, "OUT.json",
@@ -165,12 +198,35 @@ int main(int argc, char** argv) {
                      100.0 * cell.detection_rate());
       };
     }
-    const auto result = campaign::run_campaign(spec, threads, progress, shard);
+    // Cache warnings (loud misses, store failures) always go to stderr so
+    // they survive --quiet and never touch a stdout document.
+    const auto store = cache::ResultStore::open(cache_dir, [](const std::string& m) {
+      std::fprintf(stderr, "sofia_attack: %s\n", m.c_str());
+    });
+    if (store)
+      std::fprintf(log, "cache: %s\n", store->root().string().c_str());
+    if (!store && !cache_stats_path.empty())
+      return parser.fail("--cache-stats needs --cache (or $SOFIA_CACHE)");
+
+    const auto result =
+        campaign::run_campaign(spec, threads, progress, shard, store.get());
     std::fprintf(log, "done in %.2f s (%u thread(s)); %s\n",
                  result.wall_seconds, result.threads_used,
                  result.authenticated_clean()
                      ? "authenticated schemes clean"
                      : "ESCAPES in an authenticated scheme");
+    if (store) {
+      const auto cs = store->stats();
+      std::fprintf(stderr,
+                   "cache: %llu hit(s), %llu miss(es), %llu stored, "
+                   "%llu failure(s)\n",
+                   static_cast<unsigned long long>(cs.hits),
+                   static_cast<unsigned long long>(cs.misses),
+                   static_cast<unsigned long long>(cs.stored),
+                   static_cast<unsigned long long>(cs.failures));
+      if (!cache_stats_path.empty())
+        io::emit_document(cache_stats_path, cache_stats_json(*store));
+    }
     for (const auto& cell : result.cells) {
       if (!cell.authenticated) continue;
       for (const auto& e : cell.escapes) {

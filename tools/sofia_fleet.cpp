@@ -66,6 +66,7 @@ int main(int argc, char** argv) {
   std::string scheme;  // empty = keep each cell's own scheme axis
   std::string launch;
   std::string json_path = "-";
+  std::string cache_dir;
   std::uint32_t workers = 2;
   std::uint32_t threads = 0;
   bool smoke = false;
@@ -91,6 +92,10 @@ int main(int argc, char** argv) {
               "(default: the sofia_sweep next to this binary)")
       .option("--json", json_path, "PATH",
               "write the merged document to PATH (default '-' = stdout)")
+      .option("--cache", cache_dir, "DIR",
+              "shared content-addressed result cache every worker reuses "
+              "and fills — an interrupted fleet run resumes from it "
+              "(default: $SOFIA_CACHE when set)")
       .flag("--smoke", smoke, "shrink the matrix to a seconds-long smoke run")
       .flag("--quiet", quiet, "suppress the coordinator's progress lines");
   parser.parse_or_exit(argc, argv);
@@ -127,6 +132,8 @@ int main(int argc, char** argv) {
                       " --backend " + backend +
                       (scheme.empty() ? "" : " --scheme " + scheme) +
                       (smoke ? " --smoke" : "") +
+                      (cache_dir.empty() ? ""
+                                         : " --cache " + shell_quote(cache_dir)) +
                       " --threads " + std::to_string(threads) + " --shard " +
                       std::to_string(k) + "/" + std::to_string(workers) +
                       " --quiet --json -";

@@ -15,12 +15,39 @@
 #include <thread>
 #include <vector>
 
+#include "cache/result_store.hpp"
 #include "driver/sweep.hpp"
 #include "scheme/scheme.hpp"
 #include "sim/backend.hpp"
 #include "support/cli.hpp"
 #include "support/error.hpp"
 #include "support/io.hpp"
+#include "support/json.hpp"
+
+namespace {
+
+/// The run's cache counters as a side document ({"cache": {...}} stanza) —
+/// deliberately separate from the sweep document, which must stay
+/// byte-identical with and without a cache.
+std::string cache_stats_json(const sofia::cache::ResultStore& store) {
+  const auto s = store.stats();
+  sofia::json::Writer w(2);
+  w.begin_object();
+  w.member("schema", "sofia-cache-stats-v1");
+  w.key("cache").begin_object();
+  w.member("root", store.root().string());
+  w.member("hits", s.hits);
+  w.member("misses", s.misses);
+  w.member("stored", s.stored);
+  w.member("failures", s.failures);
+  w.end_object();
+  w.end_object();
+  std::string doc = w.str();
+  doc += '\n';
+  return doc;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace sofia;
@@ -28,6 +55,8 @@ int main(int argc, char** argv) {
   std::string backend(sim::kDefaultBackend);
   std::string scheme;  // empty = keep each cell's own scheme axis
   std::string json_path;
+  std::string cache_dir;
+  std::string cache_stats_path;
   std::string shard_text;
   std::string merge_out;
   std::vector<std::string> merge_inputs;
@@ -52,6 +81,11 @@ int main(int argc, char** argv) {
               "worker threads (default: hardware concurrency)")
       .option("--json", json_path, "PATH",
               "write the results document to PATH ('-' = stdout)")
+      .option("--cache", cache_dir, "DIR",
+              "content-addressed result cache: reuse prior results and "
+              "store new ones (default: $SOFIA_CACHE when set)")
+      .option("--cache-stats", cache_stats_path, "PATH",
+              "write this run's cache hit/miss counters as a JSON document")
       .option("--shard", shard_text, "K/N",
               "run only job indices congruent to K mod N")
       .option("--merge", merge_out, "OUT.json",
@@ -131,10 +165,33 @@ int main(int argc, char** argv) {
                      r.m.cycle_overhead_pct());
       };
     }
-    const auto result = driver::run_sweep(spec, threads, progress, shard);
+    // Cache warnings (loud misses, store failures) always go to stderr so
+    // they survive --quiet and never touch a stdout document.
+    const auto store = cache::ResultStore::open(cache_dir, [](const std::string& m) {
+      std::fprintf(stderr, "sofia_sweep: %s\n", m.c_str());
+    });
+    if (store)
+      std::fprintf(log, "cache: %s\n", store->root().string().c_str());
+
+    const auto result =
+        driver::run_sweep(spec, threads, progress, shard, store.get());
     std::fprintf(log, "done in %.2f s (%u thread(s)); %s\n",
                  result.wall_seconds, result.threads_used,
                  result.all_ok() ? "all jobs ok" : "FAILURES");
+    if (store) {
+      const auto cs = store->stats();
+      std::fprintf(stderr,
+                   "cache: %llu hit(s), %llu miss(es), %llu stored, "
+                   "%llu failure(s)\n",
+                   static_cast<unsigned long long>(cs.hits),
+                   static_cast<unsigned long long>(cs.misses),
+                   static_cast<unsigned long long>(cs.stored),
+                   static_cast<unsigned long long>(cs.failures));
+      if (!cache_stats_path.empty())
+        io::emit_document(cache_stats_path, cache_stats_json(*store));
+    } else if (!cache_stats_path.empty()) {
+      return parser.fail("--cache-stats needs --cache (or $SOFIA_CACHE)");
+    }
 
     if (!json_path.empty()) {
       io::emit_document(json_path, driver::to_json(result));
