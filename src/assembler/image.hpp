@@ -16,6 +16,14 @@ namespace sofia::assembler {
 /// address no program text can occupy given the 64 MiB text limit).
 inline constexpr std::uint32_t kResetPrevWord = 0xFFFFFF;
 
+/// prevPC word address presented for an indirect (non-ret jalr) transfer
+/// under a forward-edge gating scheme: every legal indirect target carries
+/// one canonical entry sealed against this sentinel, so the dynamic source
+/// block never has to appear in the target's predecessor set. Like the
+/// reset sentinel it lies outside the 64 MiB text limit and fits the
+/// 24-bit counter field.
+inline constexpr std::uint32_t kIndirectPrevWord = 0xFFFFFE;
+
 /// Placement of sections in the flat physical address space.
 struct MemoryLayout {
   std::uint32_t text_base = 0x00000000;

@@ -18,9 +18,11 @@ namespace sofia::campaign {
 
 namespace {
 
-// The built-in victim: a loop of calls (mux-entry blocks), a devirtualized
-// function-pointer dispatch, and observable stores — enough block variety
-// that every mutator kind can land on live structure.
+// The built-in victim: a loop of calls (mux-entry blocks), a jump-form
+// function-pointer dispatch (devirtualized under non-gating schemes, a
+// live gated jalr — and retarget surface — under flta), and observable
+// stores: enough block variety that every mutator kind lands on live
+// structure.
 constexpr char kBuiltinVictim[] = R"(
 main:
   li r1, 0
@@ -32,7 +34,8 @@ loop:
   la r4, table
   lw r5, 0(r4)
   .targets inc, dec
-  jalr lr, r5
+  jr r5
+join:
   la r3, out
   sw r1, 0(r3)
   li r10, 0xFFFF0008
@@ -46,10 +49,10 @@ never:
   ret
 inc:
   addi r1, r1, 1
-  ret
+  j join
 dec:
   addi r1, r1, -1
-  ret
+  j join
 .data
 table: .word inc, dec
 out: .word 0
@@ -289,6 +292,29 @@ Fixture make_fixture(const CampaignSpec& spec, const CellSpec& cell) {
 
   fx.geometry.text_words = static_cast<std::uint32_t>(fx.base_image.text.size());
   fx.geometry.words_per_block = profile.policy.words_per_block;
+  fx.geometry.text_base = fx.base_image.text_base;
+  // The retarget surface: the union of every declared indirect target set,
+  // and the aligned data words initially holding one of those addresses
+  // (the dispatch slots a surviving jalr reads its target from). Both stay
+  // empty under schemes that devirtualize indirect jumps.
+  std::vector<std::uint32_t> targets;
+  for (const auto& blk : fx.model.blocks)
+    targets.insert(targets.end(), blk.jalr_targets.begin(),
+                   blk.jalr_targets.end());
+  std::sort(targets.begin(), targets.end());
+  targets.erase(std::unique(targets.begin(), targets.end()), targets.end());
+  fx.geometry.indirect_targets = std::move(targets);
+  if (!fx.geometry.indirect_targets.empty()) {
+    const auto& data = fx.base_image.data;
+    for (std::uint32_t off = 0; off + 4 <= data.size(); off += 4) {
+      std::uint32_t value = 0;
+      for (std::uint32_t j = 0; j < 4; ++j)
+        value |= static_cast<std::uint32_t>(data[off + j]) << (8 * j);
+      if (std::binary_search(fx.geometry.indirect_targets.begin(),
+                             fx.geometry.indirect_targets.end(), value))
+        fx.geometry.dispatch_slots.push_back(off);
+    }
+  }
   fx.base_config = fx.session->sim_config();
 
   cache::KeyBuilder kb("sofia-cache-key-v1/campaign-fixture");

@@ -97,9 +97,9 @@ MutationRecord minimize(
 
 // ---- results ---------------------------------------------------------------
 
-/// Mirrors sim::ResetCause (kNone..kStateCorruption) for the per-cell
+/// Mirrors sim::ResetCause (kNone..kTargetSetViolation) for the per-cell
 /// verdict tallies; test_campaign pins the two in sync.
-inline constexpr std::size_t kResetCauseCount = 7;
+inline constexpr std::size_t kResetCauseCount = 8;
 
 /// One surviving counterexample: everything needed to replay and triage it.
 struct EscapeRecord {

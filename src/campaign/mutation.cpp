@@ -1,5 +1,7 @@
 #include "campaign/mutation.hpp"
 
+#include <algorithm>
+
 #include "support/error.hpp"
 #include "support/json.hpp"
 
@@ -21,6 +23,8 @@ const std::vector<MutatorInfo>& mutator_catalog() {
        "graft the same block from a build under another version nonce"},
       {MutationKind::kFetchFault, "fetch-fault",
        "transient fault: flip one bit of the N-th fetched word"},
+      {MutationKind::kRetargetIndirect, "retarget-indirect",
+       "redirect a data-section dispatch slot outside its proved target set"},
   };
   return catalog;
 }
@@ -65,6 +69,9 @@ std::string Mutation::describe() const {
     case MutationKind::kFetchFault:
       out += " fetch" + std::to_string(a) + " b" + std::to_string(b);
       break;
+    case MutationKind::kRetargetIndirect:
+      out += " d" + std::to_string(a) + " ->" + std::to_string(b);
+      break;
   }
   return out;
 }
@@ -75,8 +82,13 @@ Mutation generate(Rng& rng, const ImageGeometry& g) {
   // stage; the structured kinds (splice, forge, cross-version) each get a
   // steady share so every campaign exercises every rule.
   const std::uint64_t roll = rng.next_below(100);
-  if (roll < 40)
+  if (roll < 34)
     m.kind = MutationKind::kBitFlip;
+  else if (roll < 40)
+    // Retargets need live dispatch slots (a gating scheme with surviving
+    // indirect jumps); without them the share degrades to a bit flip.
+    m.kind = g.dispatch_slots.empty() ? MutationKind::kBitFlip
+                                      : MutationKind::kRetargetIndirect;
   else if (roll < 55)
     m.kind = MutationKind::kWordPatch;
   else if (roll < 65)
@@ -121,6 +133,20 @@ Mutation generate(Rng& rng, const ImageGeometry& g) {
       m.a = rng.next_below(4ull * g.text_words);
       m.b = rng.next_below(32);
       break;
+    case MutationKind::kRetargetIndirect: {
+      m.a = g.dispatch_slots[rng.next_below(g.dispatch_slots.size())];
+      // Draw a sealed text word that is NOT a declared indirect entry: an
+      // in-set rewire is admitted by the target-set policy, so only
+      // out-of-set redirects measure the defense. The declared set is
+      // always a strict subset of the text, so the skip loop terminates.
+      std::uint32_t w = static_cast<std::uint32_t>(rng.next_below(g.text_words));
+      while (std::binary_search(g.indirect_targets.begin(),
+                                g.indirect_targets.end(),
+                                g.text_base + 4 * w))
+        w = (w + 1) % g.text_words;
+      m.b = g.text_base + 4ull * w;
+      break;
+    }
   }
   return m;
 }
@@ -224,6 +250,15 @@ void apply(const Mutation& m, assembler::LoadImage& image,
       config.fault.fetch_index = m.a;
       config.fault.bit = static_cast<unsigned>(m.b & 31);
       break;
+    case MutationKind::kRetargetIndirect: {
+      if (m.a % 4 != 0 || m.a + 4 > image.data.size())
+        throw Error("mutation '" + m.describe() + "': data offset " +
+                    std::to_string(m.a) + " out of range for " +
+                    std::to_string(image.data.size()) + " data bytes");
+      for (std::uint32_t j = 0; j < 4; ++j)
+        image.data[m.a + j] = static_cast<std::uint8_t>(m.b >> (8 * j));
+      break;
+    }
   }
 }
 

@@ -37,9 +37,10 @@ enum class MutationKind : std::uint8_t {
   kHeaderForge,         ///< XOR header word b (0/1) of block a with mask c
   kCrossVersionSplice,  ///< replace block a with the donor-omega build's block a
   kFetchFault,          ///< transient fault: flip bit b of the a-th fetched word
+  kRetargetIndirect,    ///< overwrite dispatch slot at data offset a with address b
 };
 
-inline constexpr std::size_t kMutationKindCount = 7;
+inline constexpr std::size_t kMutationKindCount = 8;
 
 std::string_view to_string(MutationKind kind);
 
@@ -76,6 +77,16 @@ using MutationRecord = std::vector<Mutation>;
 struct ImageGeometry {
   std::uint32_t text_words = 0;
   std::uint32_t words_per_block = 8;
+  std::uint32_t text_base = 0;
+  /// Byte offsets of aligned data words holding a declared indirect-entry
+  /// address (the jalr-reachable dispatch slots). Empty when the active
+  /// scheme devirtualizes indirect jumps — retargets are never generated.
+  std::vector<std::uint32_t> dispatch_slots;
+  /// Sorted canonical indirect-entry byte addresses (the union of every
+  /// declared target set). Generation steers retargets OUTSIDE this set:
+  /// an in-set rewire is a transfer the target-set policy deliberately
+  /// admits, so it is not a detectable tamper.
+  std::vector<std::uint32_t> indirect_targets;
 
   std::uint32_t blocks() const { return text_words / words_per_block; }
 };

@@ -18,6 +18,7 @@ std::string_view to_string(EdgeKind kind) {
     case EdgeKind::kJump: return "jump";
     case EdgeKind::kCall: return "call";
     case EdgeKind::kReturn: return "return";
+    case EdgeKind::kIndirect: return "indirect";
   }
   return "?";
 }
@@ -60,10 +61,21 @@ Cfg Cfg::build(const assembler::Program& prog) {
   for (std::uint32_t i = 0; i < n; ++i) {
     const auto& si = prog.text[i];
     const Opcode op = si.inst.op;
-    if (op == Opcode::kJalr && !is_ret(si.inst))
-      fail(prog, i,
-           "indirect jump survived normalization (missing .targets "
-           "annotation?)");
+    if (op == Opcode::kJalr && !is_ret(si.inst)) {
+      // A surviving indirect jump is analyzable iff its target set was
+      // declared (a forward-edge gating scheme keeps annotated jump-form
+      // jalr; everything else devirtualizes them before this point).
+      if (si.indirect_targets.empty())
+        fail(prog, i,
+             "indirect jump survived normalization (missing .targets "
+             "annotation?)");
+      for (const std::string& t : si.indirect_targets) {
+        const auto it = prog.text_labels.find(t);
+        if (it == prog.text_labels.end() || it->second >= n)
+          fail(prog, i, "indirect target '" + t + "' is not a text label");
+        leader_set.insert(it->second);
+      }
+    }
     if (isa::is_cond_branch(op) || op == Opcode::kJal) {
       const std::uint32_t t = branch_target(prog, i);
       if (t >= n) fail(prog, i, "branch target out of range");
@@ -97,6 +109,14 @@ Cfg Cfg::build(const assembler::Program& prog) {
     } else if (op == Opcode::kJal) {
       add_edge(i, branch_target(prog, i),
                si.inst.rd == isa::kRegZero ? EdgeKind::kJump : EdgeKind::kCall);
+    } else if (op == Opcode::kJalr && !is_ret(si.inst)) {
+      // One indirect edge per declared target (deduplicated: a label may
+      // appear twice in the annotation).
+      std::set<std::uint32_t> targets;
+      for (const std::string& t : si.indirect_targets)
+        targets.insert(prog.text_labels.at(t));
+      for (const std::uint32_t t : targets)
+        add_edge(i, t, EdgeKind::kIndirect);
     } else if (op == Opcode::kJalr || op == Opcode::kHalt) {
       // ret edges added below; halt has no successors
     } else if (i + 1 < n && leader_set.count(i + 1) != 0) {
@@ -141,12 +161,17 @@ Cfg Cfg::build(const assembler::Program& prog) {
           succ = {branch_target(prog, i)};
         else
           succ = {i + 1};  // step over the call
-      } else if (inst.op == Opcode::kJalr) {
+      } else if (inst.op == Opcode::kJalr && is_ret(inst)) {
         fn.rets.push_back(i);
         auto [it, inserted] = ret_owner.emplace(i, entry);
         if (!inserted && it->second != entry)
           fail(prog, i, "ret is reachable from multiple function entries ('" +
                             fn.name + "' and another); split the shared epilogue");
+      } else if (inst.op == Opcode::kJalr) {
+        // Surviving jump-form jalr: flow continues at every declared
+        // target, inside the same function (like a computed goto).
+        for (const std::string& t : prog.text[i].indirect_targets)
+          succ.push_back(prog.text_labels.at(t));
       } else if (inst.op != Opcode::kHalt) {
         succ = {i + 1};
       }

@@ -26,6 +26,7 @@ enum class EdgeKind : std::uint8_t {
   kJump,         ///< unconditional jal r0 (j)
   kCall,         ///< jal rd != r0
   kReturn,       ///< callee ret -> call-site return point
+  kIndirect,     ///< surviving annotated jalr -> declared .targets member
 };
 
 std::string_view to_string(EdgeKind kind);

@@ -289,7 +289,7 @@ RunReply decode_run_reply(const std::vector<std::uint8_t>& payload) {
   res.status = static_cast<sim::RunResult::Status>(status);
   res.exit_code = r.i32("result.exit_code");
   const std::uint8_t cause = r.u8("result.reset.cause");
-  if (cause > static_cast<std::uint8_t>(sim::ResetCause::kStateCorruption))
+  if (cause > static_cast<std::uint8_t>(sim::ResetCause::kTargetSetViolation))
     r.fail("result.reset.cause", "unknown reset cause " + std::to_string(cause));
   res.reset.cause = static_cast<sim::ResetCause>(cause);
   res.reset.cycle = r.u64("result.reset.cycle");

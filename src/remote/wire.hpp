@@ -27,9 +27,11 @@
 namespace sofia::remote {
 
 /// v2: SimConfig carries the protection-scheme name (appended to the config
-/// codec) and RunReply's reset cause admits kStateCorruption. Mixed-version
-/// pairs fail fast at the frame header rather than mis-parse payloads.
-inline constexpr std::uint16_t kProtocolVersion = 2;
+/// codec) and RunReply's reset cause admits kStateCorruption. v3: the reset
+/// cause range extends to kTargetSetViolation (the "flta" forward-edge
+/// gate). Mixed-version pairs fail fast at the frame header rather than
+/// mis-parse payloads.
+inline constexpr std::uint16_t kProtocolVersion = 3;
 
 /// Upper bound on a frame payload (64 MiB): far larger than any real image
 /// or result, small enough that a corrupt length field cannot drive a

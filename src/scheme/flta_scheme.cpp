@@ -1,0 +1,131 @@
+#include "scheme/flta_scheme.hpp"
+
+#include "crypto/cbc_mac.hpp"
+#include "scheme/ctr_common.hpp"
+
+namespace sofia::scheme {
+
+namespace {
+
+std::uint32_t label_word(const BlockInfo& info) {
+  return (static_cast<std::uint32_t>(info.entry1_label) << 16) |
+         (static_cast<std::uint32_t>(info.entry2_label) << 8) |
+         static_cast<std::uint32_t>(info.exit_label);
+}
+
+// 32-bit authenticator over instructions ++ label word: appending L to
+// the MAC input is what makes a label forgery a MAC mismatch.
+std::uint32_t mac32(const crypto::BlockCipher64& mac_cipher,
+                    const std::vector<std::uint32_t>& inst_words,
+                    std::uint32_t label) {
+  std::vector<std::uint32_t> input = inst_words;
+  input.push_back(label);
+  return crypto::mac_word1(crypto::cbc_mac64(mac_cipher, input));
+}
+
+class FltaSealer final : public Sealer {
+ public:
+  FltaSealer(const crypto::KeySet& keys, crypto::Granularity gran)
+      : enc_(keys.encryption_cipher()),
+        exec_mac_(keys.exec_mac_cipher()),
+        mux_mac_(keys.mux_mac_cipher()),
+        omega_(keys.omega),
+        gran_(gran) {}
+
+  std::vector<std::uint32_t> plaintext(
+      const BlockInfo& info,
+      const std::vector<std::uint32_t>& inst_words) const override {
+    const auto& mac_cipher = info.is_mux ? *mux_mac_ : *exec_mac_;
+    const std::uint32_t label = label_word(info);
+    const std::uint32_t m1 = mac32(mac_cipher, inst_words, label);
+    // [M1, L] for an execution block, [M1, M1, L] for a multiplexor block
+    // (two entry copies of M1, matching sofia-cbcmac's header shape).
+    std::vector<std::uint32_t> words =
+        info.is_mux ? std::vector<std::uint32_t>{m1, m1, label}
+                    : std::vector<std::uint32_t>{m1, label};
+    words.insert(words.end(), inst_words.begin(), inst_words.end());
+    return words;
+  }
+
+  std::vector<std::uint32_t> seal(
+      const BlockInfo& info,
+      const std::vector<std::uint32_t>& inst_words) const override {
+    std::vector<std::uint32_t> words = plaintext(info, inst_words);
+    detail::ctr_seal(info, words, *enc_, omega_, gran_);
+    return words;
+  }
+
+ private:
+  std::unique_ptr<crypto::BlockCipher64> enc_;
+  std::unique_ptr<crypto::BlockCipher64> exec_mac_;
+  std::unique_ptr<crypto::BlockCipher64> mux_mac_;
+  std::uint16_t omega_;
+  crypto::Granularity gran_;
+};
+
+class FltaOpener final : public Opener {
+ public:
+  FltaOpener(const crypto::KeySet& keys, std::uint16_t omega,
+             crypto::Granularity gran)
+      : enc_(keys.encryption_cipher()),
+        exec_mac_(keys.exec_mac_cipher()),
+        mux_mac_(keys.mux_mac_cipher()),
+        omega_(omega),
+        gran_(gran) {}
+
+  DeviceBlock open(std::uint32_t base_word, std::uint32_t prev_word,
+                   const EntryPath& path,
+                   const std::vector<std::uint32_t>& raw) const override {
+    const auto b = static_cast<std::uint32_t>(raw.size());
+    DeviceBlock out;
+    out.first_inst = path.first_inst;
+    out.plain.assign(b, 0);
+    detail::ctr_open(path, base_word, prev_word, raw, out, *enc_, omega_,
+                     gran_);
+
+    // Stored authenticator in the entered M1 copy; the label word sits
+    // where sofia-cbcmac keeps M2.
+    const std::uint32_t label_index = path.is_mux ? 2u : 1u;
+    const std::uint32_t m1 = out.plain[path.entry_word_index];
+    const std::uint32_t label = out.plain[label_index];
+    out.verify_extra_words = {path.entry_word_index, label_index};
+
+    // Chained MAC ops over the decrypted instructions, then the label.
+    for (std::uint32_t w = path.first_inst; w < b; w += 2)
+      out.verify_ops.push_back({w, std::min(2u, b - w)});
+    out.verify_ops.push_back({label_index, 1});
+    const std::vector<std::uint32_t> inst_words(
+        out.plain.begin() + path.first_inst, out.plain.end());
+    const auto& mac_cipher = path.is_mux ? *mux_mac_ : *exec_mac_;
+    if (mac32(mac_cipher, inst_words, label) != m1)
+      out.verify_cause = sim::ResetCause::kMacMismatch;
+
+    out.gate_indirect = true;
+    out.entry_label = static_cast<std::uint8_t>(
+        path.offset == 2 ? (label >> 8) & 0xFF : (label >> 16) & 0xFF);
+    out.exit_label = static_cast<std::uint8_t>(label & 0xFF);
+    return out;
+  }
+
+ private:
+  std::unique_ptr<crypto::BlockCipher64> enc_;
+  std::unique_ptr<crypto::BlockCipher64> exec_mac_;
+  std::unique_ptr<crypto::BlockCipher64> mux_mac_;
+  std::uint16_t omega_;
+  crypto::Granularity gran_;
+};
+
+}  // namespace
+
+std::unique_ptr<Sealer> FltaScheme::make_sealer(const crypto::KeySet& keys,
+                                                crypto::Granularity gran) const {
+  return std::make_unique<FltaSealer>(keys, gran);
+}
+
+std::unique_ptr<Opener> FltaScheme::make_opener(const crypto::KeySet& keys,
+                                                std::uint16_t omega,
+                                                crypto::Granularity gran) const {
+  return std::make_unique<FltaOpener>(keys, omega, gran);
+}
+
+}  // namespace sofia::scheme

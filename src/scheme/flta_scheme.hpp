@@ -1,0 +1,37 @@
+// Forward-edge gating variant of the paper's design ("flta"): same
+// control-flow-dependent CTR encryption, but the second header word is a
+// sealed *label word* L = [entry1 | entry2 | exit] carrying the block's
+// target-set labels (scheme/label.hpp) instead of the second MAC half.
+// The 64-bit CBC-MAC is computed over instructions ++ L and truncated to
+// 32 bits (M1); L is therefore authenticated, and the device gates every
+// indirect (non-ret jalr) transfer by checking source exit label ==
+// target entry label — a mismatch or an unlabeled party resets with
+// kTargetSetViolation. The backward edges keep the full counter binding;
+// the forward-edge check trades 32 bits of MAC strength for a sound,
+// statically-proved indirect-jump policy.
+#pragma once
+
+#include "scheme/scheme.hpp"
+
+namespace sofia::scheme {
+
+inline constexpr std::string_view kFltaSchemeDescription =
+    "forward-edge gating: CF-dependent CTR + 32-bit CBC-MAC + sealed "
+    "target-set labels checked on indirect transfers";
+
+class FltaScheme final : public ProtectionScheme {
+ public:
+  std::string_view name() const override { return "flta"; }
+  std::string_view describe() const override { return kFltaSchemeDescription; }
+  SchemeTraits traits() const override {
+    return {/*authenticated=*/true, /*uses_granularity=*/true,
+            /*gates_indirect=*/true};
+  }
+  std::unique_ptr<Sealer> make_sealer(const crypto::KeySet& keys,
+                                      crypto::Granularity gran) const override;
+  std::unique_ptr<Opener> make_opener(const crypto::KeySet& keys,
+                                      std::uint16_t omega,
+                                      crypto::Granularity gran) const override;
+};
+
+}  // namespace sofia::scheme

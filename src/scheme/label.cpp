@@ -1,0 +1,78 @@
+#include "scheme/label.hpp"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+#include "support/error.hpp"
+
+namespace sofia::scheme {
+
+namespace {
+
+// Minimal union-find over dense indices.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) x = parent_[x] = parent_[parent_[x]];
+    return x;
+  }
+  void unite(std::size_t a, std::size_t b) { parent_[find(a)] = find(b); }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+}  // namespace
+
+LabelPlan assign_labels(const std::vector<IndirectSite>& sites) {
+  LabelPlan plan;
+  if (sites.empty()) return plan;
+
+  // Dense index per distinct target entry word (ordered for determinism).
+  std::map<std::uint32_t, std::size_t> index_of;
+  for (const IndirectSite& site : sites)
+    for (const std::uint32_t w : site.target_entry_words)
+      index_of.emplace(w, index_of.size());
+
+  // Two targets reachable from the same site share a class.
+  UnionFind uf(index_of.size());
+  for (const IndirectSite& site : sites) {
+    if (site.target_entry_words.empty())
+      throw TransformError("label: indirect site at word " +
+                           std::to_string(site.exit_word) +
+                           " has an empty target set");
+    const std::size_t first = index_of.at(site.target_entry_words.front());
+    for (const std::uint32_t w : site.target_entry_words)
+      uf.unite(first, index_of.at(w));
+  }
+
+  // Number the classes by their smallest member's entry word address.
+  std::map<std::size_t, std::uint32_t> class_min;  // root -> min entry word
+  for (const auto& [word, idx] : index_of) {
+    const std::size_t root = uf.find(idx);
+    auto [it, inserted] = class_min.emplace(root, word);
+    if (!inserted) it->second = std::min(it->second, word);
+  }
+  std::vector<std::pair<std::uint32_t, std::size_t>> order;  // (min, root)
+  for (const auto& [root, min_word] : class_min) order.emplace_back(min_word, root);
+  std::sort(order.begin(), order.end());
+  if (order.size() > 255)
+    throw TransformError("label: " + std::to_string(order.size()) +
+                         " target-set classes exceed the 255-label limit");
+  std::unordered_map<std::size_t, std::uint8_t> label_of_root;
+  for (std::size_t i = 0; i < order.size(); ++i)
+    label_of_root[order[i].second] = static_cast<std::uint8_t>(i + 1);
+
+  for (const auto& [word, idx] : index_of)
+    plan.entry_label[word] = label_of_root.at(uf.find(idx));
+  for (const IndirectSite& site : sites)
+    plan.exit_label[site.exit_word] =
+        plan.entry_label.at(site.target_entry_words.front());
+  return plan;
+}
+
+}  // namespace sofia::scheme

@@ -1,0 +1,43 @@
+// Target-set label assignment for forward-edge gating schemes (FLTA-style:
+// "forward-edge label-based transfer authorization"). Every surviving
+// jump-form jalr declares a static target set; the toolchain collapses
+// those sets into equivalence classes — two sets sharing any member merge,
+// because a block entry can carry only one sealed label — and assigns each
+// class a small non-zero id. The scheme seals the ids into block headers;
+// the machine then checks, on every indirect transfer, that the source
+// exit label equals the target entry label.
+//
+// This mirrors the classic FLTA (function-level type analysis) coarsening:
+// precision is the partition induced by the static target sets, soundness
+// is that every declared target stays reachable.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace sofia::scheme {
+
+/// One surviving indirect jump site, in *word addresses* of the laid-out
+/// image: the exit slot holding the jalr and the entry word of every
+/// declared target (its canonical indirect entry).
+struct IndirectSite {
+  std::uint32_t exit_word = 0;
+  std::vector<std::uint32_t> target_entry_words;
+};
+
+/// The computed labeling: entry word address -> label for every indirect
+/// target, exit word address -> label for every gated jump. Labels are
+/// 1..255; 0 everywhere else (the machine treats 0 as "not authorized").
+struct LabelPlan {
+  std::unordered_map<std::uint32_t, std::uint8_t> entry_label;
+  std::unordered_map<std::uint32_t, std::uint8_t> exit_label;
+};
+
+/// Merge overlapping target sets into equivalence classes and assign
+/// deterministic ids (classes ordered by their smallest entry word
+/// address, numbered from 1). Throws sofia::TransformError when more than
+/// 255 classes are needed.
+LabelPlan assign_labels(const std::vector<IndirectSite>& sites);
+
+}  // namespace sofia::scheme

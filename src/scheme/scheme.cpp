@@ -1,6 +1,7 @@
 #include "scheme/scheme.hpp"
 
 #include "scheme/cbcmac_scheme.hpp"
+#include "scheme/flta_scheme.hpp"
 #include "scheme/null_scheme.hpp"
 #include "scheme/sponge_scheme.hpp"
 #include "support/error.hpp"
@@ -39,6 +40,7 @@ const std::vector<SchemeEntry>& scheme_registry() {
       {"sofia-cbcmac", kCbcMacSchemeDescription, get<CbcMacScheme>},
       {"sponge", kSpongeSchemeDescription, get<SpongeScheme>},
       {"null", kNullSchemeDescription, get<NullScheme>},
+      {"flta", kFltaSchemeDescription, get<FltaScheme>},
   };
   return registry;
 }

@@ -40,11 +40,22 @@ namespace sofia::scheme {
 // ---- toolchain side --------------------------------------------------------
 
 /// Everything the Sealer may depend on about one laid-out block.
+///
+/// The label fields only matter to forward-edge gating schemes
+/// (SchemeTraits::gates_indirect); everything else ignores them, and the
+/// toolchain leaves them zero for non-gating schemes. A label is an 8-bit
+/// equivalence-class id over indirect target sets: entryN_label is the
+/// class the block belongs to when entered through path N (0 = not an
+/// indirect target on that path), exit_label is the class this block's
+/// exit-slot jalr is allowed to reach (0 = the exit is not indirect).
 struct BlockInfo {
   bool is_mux = false;
   std::uint32_t base_word = 0;   ///< word address of the block's first word
   std::uint32_t pred1_word = 0;  ///< prevPC for entry path 1 (word 0)
   std::uint32_t pred2_word = 0;  ///< prevPC for entry path 2 (mux word 1)
+  std::uint8_t entry1_label = 0; ///< target-set class when entered via path 1
+  std::uint8_t entry2_label = 0; ///< target-set class when entered via path 2
+  std::uint8_t exit_label = 0;   ///< target-set class of the exit jalr
 };
 
 /// One installation session (fixed keys + granularity). Sealers are cheap
@@ -119,6 +130,13 @@ struct DeviceBlock {
   /// stores are never gated.
   bool performs_verify = true;
   std::uint32_t header_words = 2;  ///< tag words consumed (stats)
+  /// Forward-edge gate (gating schemes only). When gate_indirect is true
+  /// the machine must check, on any indirect (non-ret jalr) transfer INTO
+  /// this entry, that the source block's exit_label equals this entry
+  /// path's entry_label; 0 or a mismatch is a kTargetSetViolation.
+  bool gate_indirect = false;
+  std::uint8_t entry_label = 0;  ///< label of the path actually entered
+  std::uint8_t exit_label = 0;   ///< label the exit-slot jalr may reach
 };
 
 /// One device session (fixed keys + the image's omega and granularity).
@@ -143,6 +161,11 @@ struct SchemeTraits {
   /// The CTR granularity axis changes the sealed bytes. False = the
   /// scheme ignores DeviceProfile::granularity (documented per scheme).
   bool uses_granularity = true;
+  /// The scheme seals per-block target-set labels and gates indirect
+  /// transfers against them at runtime (FLTA-style forward edge). The
+  /// toolchain keeps annotated jump-form jalr instructions under such a
+  /// scheme instead of devirtualizing them.
+  bool gates_indirect = false;
 };
 
 class ProtectionScheme {

@@ -28,6 +28,7 @@ enum class ResetCause : std::uint8_t {
   kIllegalExit,         ///< control instruction decoded off the exit slot
   kIllegalInstruction,  ///< undecodable word reached decode
   kStateCorruption,     ///< chained-state scheme tag mismatch ("sponge")
+  kTargetSetViolation,  ///< indirect transfer outside the sealed target set ("flta")
 };
 
 std::string_view to_string(ResetCause cause);

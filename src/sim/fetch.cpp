@@ -1,6 +1,7 @@
 #include "sim/fetch.hpp"
 
 #include <algorithm>
+#include <utility>
 
 namespace sofia::sim {
 
@@ -48,7 +49,7 @@ std::optional<FetchedInst> VanillaFetch::step(std::uint64_t cycle, bool queue_fu
 }
 
 void VanillaFetch::redirect(std::uint32_t target, std::uint32_t /*from_pc*/,
-                            std::uint64_t cycle) {
+                            std::uint64_t cycle, bool /*indirect*/) {
   pc_ = target;
   waiting_ = false;
   fetching_ = false;
@@ -74,13 +75,26 @@ SofiaFetch::SofiaFetch(const Memory& mem, ICache& icache, CipherEngine& engine,
 }
 
 void SofiaFetch::redirect(std::uint32_t target, std::uint32_t from_pc,
-                          std::uint64_t cycle) {
+                          std::uint64_t cycle, bool indirect) {
   staged_.clear();
   waiting_ = false;
   // The squashed block's queued cipher work is dropped; an in-flight
   // iterative op keeps the engine busy until it drains (see
   // CipherEngine::flush).
   engine_.flush(cycle);
+  if (indirect) {
+    // Under a gating scheme the source block's exit was opened with a
+    // gate flag and exit label; the transfer then presents the canonical
+    // indirect sentinel and must pass the target-set check. Under any
+    // other scheme the dynamic prevPC simply garbles the target block
+    // (an indirect jump the toolchain did not devirtualize).
+    const auto it = exit_info_.find(from_pc / 4);
+    if (it != exit_info_.end() && it->second.gated) {
+      pending_entry_check_ = it->second.exit_label;
+      process_block(target / 4, assembler::kIndirectPrevWord, cycle);
+      return;
+    }
+  }
   process_block(target / 4, from_pc / 4, cycle);
 }
 
@@ -102,6 +116,8 @@ std::optional<FetchedInst> SofiaFetch::step(std::uint64_t cycle, bool queue_full
 
 void SofiaFetch::process_block(std::uint32_t target_word, std::uint32_t prev_word,
                                std::uint64_t entry_cycle) {
+  const std::optional<std::uint8_t> pending =
+      std::exchange(pending_entry_check_, std::nullopt);
   if (reset_) return;
   const std::uint32_t b = config_.policy.words_per_block;
   const std::uint32_t rel = target_word - text_base_word_;
@@ -190,6 +206,17 @@ void SofiaFetch::process_block(std::uint32_t target_word, std::uint32_t prev_wor
     reset_ = ResetEvent{dev.verify_cause, verify_cycle, base_word * 4};
     return;
   }
+  // ---- forward-edge gate ----
+  // An indirect transfer must land on an entry whose sealed label matches
+  // the source exit's; the check fires with the verification (both labels
+  // are authenticated block state).
+  if (pending && (!dev.gate_indirect || dev.entry_label == 0 ||
+                  dev.entry_label != *pending)) {
+    reset_ = ResetEvent{ResetCause::kTargetSetViolation, verify_cycle,
+                        base_word * 4};
+    return;
+  }
+  exit_info_[base_word + b - 1] = ExitInfo{dev.gate_indirect, dev.exit_label};
   // An unauthenticated scheme never gates stores (there is no
   // verification to wait for).
   const std::uint64_t gate =

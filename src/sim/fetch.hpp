@@ -20,6 +20,7 @@
 #include <deque>
 #include <memory>
 #include <optional>
+#include <unordered_map>
 
 #include "assembler/image.hpp"
 #include "isa/isa.hpp"
@@ -52,9 +53,11 @@ class FetchUnit {
   /// A taken transfer executed at byte address `from_pc` redirects fetch to
   /// `target`, effective at `cycle`. Used for taken conditional branches
   /// (squashing the fall-through speculation) and for indirect jumps (which
-  /// fetch cannot follow on its own).
+  /// fetch cannot follow on its own). `indirect` marks a non-ret jalr:
+  /// under a forward-edge gating scheme the transfer presents the
+  /// kIndirectPrevWord sentinel and must pass the target-set label check.
   virtual void redirect(std::uint32_t target, std::uint32_t from_pc,
-                        std::uint64_t cycle) = 0;
+                        std::uint64_t cycle, bool indirect = false) = 0;
 
   /// Pending SOFIA reset, if any (valid once its cycle is reached).
   virtual std::optional<ResetEvent> reset() const = 0;
@@ -86,7 +89,7 @@ class VanillaFetch final : public FetchUnit {
 
   std::optional<FetchedInst> step(std::uint64_t cycle, bool queue_full) override;
   void redirect(std::uint32_t target, std::uint32_t from_pc,
-                std::uint64_t cycle) override;
+                std::uint64_t cycle, bool indirect = false) override;
   std::optional<ResetEvent> reset() const override { return reset_; }
 
  private:
@@ -107,7 +110,7 @@ class SofiaFetch final : public FetchUnit {
 
   std::optional<FetchedInst> step(std::uint64_t cycle, bool queue_full) override;
   void redirect(std::uint32_t target, std::uint32_t from_pc,
-                std::uint64_t cycle) override;
+                std::uint64_t cycle, bool indirect = false) override;
   std::optional<ResetEvent> reset() const override { return reset_; }
 
  private:
@@ -134,6 +137,17 @@ class SofiaFetch final : public FetchUnit {
   std::uint32_t cont_prev_word_ = 0;   ///< prev word for the continuation
   std::uint64_t cont_cycle_ = 0;       ///< earliest continuation cycle
   std::optional<ResetEvent> reset_;
+
+  /// Forward-edge gate state (gating schemes only): what the scheme said
+  /// about each opened block's exit, keyed by its exit word address.
+  struct ExitInfo {
+    bool gated = false;
+    std::uint8_t exit_label = 0;
+  };
+  std::unordered_map<std::uint32_t, ExitInfo> exit_info_;
+  /// Set by an indirect redirect: the source exit label the next opened
+  /// block's entry label must equal (consumed by process_block).
+  std::optional<std::uint8_t> pending_entry_check_;
 };
 
 }  // namespace sofia::sim

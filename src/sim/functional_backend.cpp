@@ -1,6 +1,7 @@
 #include "sim/functional_backend.hpp"
 
 #include <memory>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
@@ -49,9 +50,17 @@ class FunctionalMachine {
   /// A verified, decoded block, keyed by (entry word, prevPC word).
   struct Block {
     ResetCause cause = ResetCause::kNone;  ///< != kNone: entering resets
+    /// True when `cause` came from the per-word decode/placement loop.
+    /// The forward-edge gate fires after verification but before decode
+    /// (matching SofiaFetch's check order), so run_sofia needs to know
+    /// which side of the gate a cached cause belongs to.
+    bool cause_is_decode = false;
     std::uint32_t reset_pc = 0;
     std::uint32_t base_word = 0;
     std::uint32_t first_inst = 0;  ///< word index of the first instruction
+    bool gate_indirect = false;    ///< scheme gates indirect transfers
+    std::uint8_t entry_label = 0;  ///< label of the entered path
+    std::uint8_t exit_label = 0;   ///< label the exit jalr may reach
     std::vector<Instruction> insts;
   };
 
@@ -146,6 +155,9 @@ class FunctionalMachine {
     st.mac_words += dev.header_words;
     if (dev.performs_verify) ++st.mac_verifications;
     blk.first_inst = dev.first_inst;
+    blk.gate_indirect = dev.gate_indirect;
+    blk.entry_label = dev.entry_label;
+    blk.exit_label = dev.exit_label;
     if (dev.verify_cause != ResetCause::kNone) {
       blk.cause = dev.verify_cause;
       blk.reset_pc = base_word * 4;
@@ -159,17 +171,20 @@ class FunctionalMachine {
       const std::uint32_t pc = (base_word + w) * 4;
       if (!decoded) {
         blk.cause = ResetCause::kIllegalInstruction;
+        blk.cause_is_decode = true;
         blk.reset_pc = pc;
         return blk;
       }
       const bool last = (w == b - 1);
       if (isa::is_control(decoded->op) && !last) {
         blk.cause = ResetCause::kIllegalExit;
+        blk.cause_is_decode = true;
         blk.reset_pc = pc;
         return blk;
       }
       if (isa::is_store(decoded->op) && w < config_.policy.store_min_word) {
         blk.cause = ResetCause::kRestrictedStore;
+        blk.cause_is_decode = true;
         blk.reset_pc = pc;
         return blk;
       }
@@ -184,8 +199,22 @@ class FunctionalMachine {
     std::uint32_t target_word = image_.entry / 4;
     std::uint32_t prev_word = image_.entry_prev;
     const std::uint32_t b = config_.policy.words_per_block;
+    // Source exit label of an in-flight indirect transfer (gating schemes).
+    std::optional<std::uint8_t> pending;
     while (!done_) {
       const Block& blk = enter_block(target_word, prev_word);
+      // SofiaFetch's check order: invalid entry / verification first, the
+      // forward-edge gate next, decode-time causes last.
+      if (blk.cause != ResetCause::kNone && !blk.cause_is_decode) {
+        reset(blk.cause, blk.reset_pc);
+        return;
+      }
+      if (pending && (!blk.gate_indirect || blk.entry_label == 0 ||
+                      blk.entry_label != *pending)) {
+        reset(ResetCause::kTargetSetViolation, blk.base_word * 4);
+        return;
+      }
+      pending.reset();
       if (blk.cause != ResetCause::kNone) {
         reset(blk.cause, blk.reset_pc);
         return;
@@ -205,8 +234,19 @@ class FunctionalMachine {
       if (done_) return;
       // The exit word decided where fetch continues; its own address is
       // the next block's prevPC (identical for taken transfers, direct
-      // jumps and sequential fall-through).
-      prev_word = base_exit_word(blk.base_word, b);
+      // jumps and sequential fall-through). A gated indirect exit instead
+      // presents the canonical sentinel and arms the label check.
+      const Instruction& exit_inst = blk.insts.back();
+      const bool indirect_exit =
+          exit_inst.op == Opcode::kJalr &&
+          !(exit_inst.rd == isa::kRegZero && exit_inst.ra == isa::kRegLr &&
+            exit_inst.imm == 0);
+      if (indirect_exit && blk.gate_indirect) {
+        pending = blk.exit_label;
+        prev_word = assembler::kIndirectPrevWord;
+      } else {
+        prev_word = base_exit_word(blk.base_word, b);
+      }
       target_word = next / 4;
     }
   }

@@ -22,6 +22,7 @@ std::string_view to_string(ResetCause cause) {
     case ResetCause::kIllegalExit: return "illegal-exit";
     case ResetCause::kIllegalInstruction: return "illegal-instruction";
     case ResetCause::kStateCorruption: return "state-corruption";
+    case ResetCause::kTargetSetViolation: return "target-set-violation";
   }
   return "?";
 }
@@ -242,8 +243,10 @@ class Machine {
         ++st.branches;
         ++st.taken;
         const std::uint32_t target = (a + uimm) & ~3u;
+        const bool is_ret = in.rd == isa::kRegZero && in.ra == isa::kRegLr &&
+                            in.imm == 0;
         write_reg(in.rd, fi.pc + 4, start + 1);
-        redirect(target, fi.pc, start);
+        redirect(target, fi.pc, start, /*indirect=*/!is_ret);
         break;
       }
     }
@@ -264,9 +267,10 @@ class Machine {
     }
   }
 
-  void redirect(std::uint32_t target, std::uint32_t from_pc, std::uint64_t start) {
+  void redirect(std::uint32_t target, std::uint32_t from_pc, std::uint64_t start,
+                bool indirect = false) {
     queue_.clear();
-    fetch_->redirect(target, from_pc, start + config_.redirect_bubble);
+    fetch_->redirect(target, from_pc, start + config_.redirect_bubble, indirect);
   }
 
   bool do_load(const Instruction& in, std::uint32_t addr, std::uint64_t start) {

@@ -1,0 +1,344 @@
+// The abstract value domain for the static dataflow engine: a reduced
+// product of a small constant set and a strided interval over unsigned
+// 32-bit words. Small sets keep exact precision through the `la`/`li`
+// idioms and table loads (a dispatch target is one of eight handler
+// addresses, not "somewhere in [a,b]"); the strided interval catches
+// loop-carried pointers (a table scan advances in stride-4 steps) without
+// losing alignment. Everything is a *may* analysis: an AbsVal
+// over-approximates the set of concrete values a register can hold, so any
+// "proven" predicate (proven_in / proven_outside) is sound for the lint's
+// error-severity claims.
+//
+// The lattice is deliberately shallow:
+//
+//     bottom  <  {c1..ck} (k <= kMaxConsts)  <  lo..hi (stride s)  <  top
+//
+// Joins that would grow a constant set past kMaxConsts collapse it to the
+// enclosing strided interval (stride = gcd of the gaps). Widening snaps
+// interval bounds outward to the caller's threshold set (section
+// boundaries: 0, text limit, data base, data limit, stack top) before
+// giving up to top, so one extra worklist pass pins "below the text
+// section" / "inside the data section" facts that plain interval widening
+// would blow straight past. Arithmetic that can wrap 2^32 goes to top
+// rather than modelling wraparound.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <optional>
+#include <vector>
+
+namespace sofia::verify {
+
+class AbsVal {
+ public:
+  /// Largest constant set carried exactly; joins beyond this collapse to a
+  /// strided interval. 16 covers every dispatch table in the workload zoo.
+  static constexpr std::size_t kMaxConsts = 16;
+
+  AbsVal() = default;  ///< bottom
+
+  static AbsVal bottom() { return AbsVal(); }
+  static AbsVal top() {
+    AbsVal v;
+    v.kind_ = Kind::kTop;
+    return v;
+  }
+  static AbsVal constant(std::uint32_t c) {
+    AbsVal v;
+    v.kind_ = Kind::kConsts;
+    v.consts_ = {c};
+    return v;
+  }
+  /// The set {lo, lo+stride, ..., hi}; requires lo <= hi and
+  /// (hi - lo) % stride == 0 (callers pass well-formed triples).
+  static AbsVal interval(std::uint32_t lo, std::uint32_t hi,
+                         std::uint32_t stride = 1) {
+    if (lo == hi) return constant(lo);
+    AbsVal v;
+    v.kind_ = Kind::kInterval;
+    v.lo_ = lo;
+    v.hi_ = hi;
+    v.stride_ = stride == 0 ? 1 : stride;
+    return v;
+  }
+  static AbsVal consts(std::vector<std::uint32_t> values) {
+    std::sort(values.begin(), values.end());
+    values.erase(std::unique(values.begin(), values.end()), values.end());
+    if (values.empty()) return bottom();
+    if (values.size() > kMaxConsts) return hull(values);
+    AbsVal v;
+    v.kind_ = Kind::kConsts;
+    v.consts_ = std::move(values);
+    return v;
+  }
+
+  bool is_bottom() const { return kind_ == Kind::kBottom; }
+  bool is_top() const { return kind_ == Kind::kTop; }
+  /// A single known value, if this is exactly one constant.
+  std::optional<std::uint32_t> as_constant() const {
+    if (kind_ == Kind::kConsts && consts_.size() == 1) return consts_[0];
+    return std::nullopt;
+  }
+
+  /// Smallest / largest concrete value (valid unless bottom/top).
+  std::uint32_t min() const {
+    return kind_ == Kind::kConsts ? consts_.front() : lo_;
+  }
+  std::uint32_t max() const {
+    return kind_ == Kind::kConsts ? consts_.back() : hi_;
+  }
+
+  /// Enumerate every concrete value when the set is finite and holds at
+  /// most max_count members; nullopt otherwise (including top/bottom).
+  std::optional<std::vector<std::uint32_t>> enumerate(
+      std::size_t max_count) const {
+    if (kind_ == Kind::kConsts) {
+      if (consts_.size() > max_count) return std::nullopt;
+      return consts_;
+    }
+    if (kind_ != Kind::kInterval) return std::nullopt;
+    const std::uint64_t count =
+        (std::uint64_t{hi_} - lo_) / stride_ + 1;
+    if (count > max_count) return std::nullopt;
+    std::vector<std::uint32_t> out;
+    out.reserve(static_cast<std::size_t>(count));
+    for (std::uint64_t v = lo_; v <= hi_; v += stride_)
+      out.push_back(static_cast<std::uint32_t>(v));
+    return out;
+  }
+
+  // ---- range predicates (half-open byte ranges [lo, hi)) -----------------
+
+  /// Every concrete value lies inside [lo, hi). False for top/bottom.
+  bool proven_in(std::uint32_t lo, std::uint32_t hi) const {
+    if (kind_ == Kind::kBottom || kind_ == Kind::kTop) return false;
+    return min() >= lo && max() < hi;
+  }
+
+  /// No concrete value lies inside [lo, hi). False for top/bottom.
+  /// For constant sets this checks each member, so a set straddling the
+  /// range (e.g. {below, above}) is still proven disjoint.
+  bool proven_outside(std::uint32_t lo, std::uint32_t hi) const {
+    switch (kind_) {
+      case Kind::kBottom:
+      case Kind::kTop: return false;
+      case Kind::kConsts:
+        return std::none_of(consts_.begin(), consts_.end(),
+                            [&](std::uint32_t c) { return c >= lo && c < hi; });
+      case Kind::kInterval:
+        if (hi_ < lo || lo_ >= hi) return true;
+        if (stride_ > 1) {
+          // Walkable gap check only when cheap; otherwise conservatively
+          // assume the interval touches the range.
+          for (std::uint64_t v = lo_; v <= hi_; v += stride_)
+            if (v >= lo && v < hi) return false;
+          return true;
+        }
+        return false;
+    }
+    return false;
+  }
+
+  /// May any concrete value lie inside [lo, hi)? True for top.
+  bool may_intersect(std::uint32_t lo, std::uint32_t hi) const {
+    if (kind_ == Kind::kBottom) return false;
+    if (kind_ == Kind::kTop) return true;
+    return !proven_outside(lo, hi);
+  }
+
+  // ---- lattice -------------------------------------------------------------
+
+  friend bool operator==(const AbsVal& a, const AbsVal& b) {
+    if (a.kind_ != b.kind_) return false;
+    switch (a.kind_) {
+      case Kind::kBottom:
+      case Kind::kTop: return true;
+      case Kind::kConsts: return a.consts_ == b.consts_;
+      case Kind::kInterval:
+        return a.lo_ == b.lo_ && a.hi_ == b.hi_ && a.stride_ == b.stride_;
+    }
+    return false;
+  }
+
+  static AbsVal join(const AbsVal& a, const AbsVal& b) {
+    if (a.kind_ == Kind::kBottom) return b;
+    if (b.kind_ == Kind::kBottom) return a;
+    if (a.kind_ == Kind::kTop || b.kind_ == Kind::kTop) return top();
+    if (a.kind_ == Kind::kConsts && b.kind_ == Kind::kConsts) {
+      std::vector<std::uint32_t> merged = a.consts_;
+      merged.insert(merged.end(), b.consts_.begin(), b.consts_.end());
+      return consts(std::move(merged));
+    }
+    // At least one interval: hull with gcd stride.
+    const std::uint32_t lo = std::min(a.min(), b.min());
+    const std::uint32_t hi = std::max(a.max(), b.max());
+    std::uint32_t stride = std::gcd(a.stride_of(), b.stride_of());
+    stride = std::gcd(stride, a.min() > lo ? a.min() - lo : b.min() - lo);
+    if (stride == 0) stride = 1;
+    if ((hi - lo) % stride != 0) stride = std::gcd(stride, hi - lo);
+    return interval(lo, hi, stride == 0 ? 1 : stride);
+  }
+
+  /// Widening: when `next` escapes `prev`'s bounds, snap the escaping bound
+  /// outward to the nearest threshold (sorted ascending) instead of taking
+  /// the join; a second escape past the last threshold goes to top.
+  static AbsVal widen(const AbsVal& prev, const AbsVal& next,
+                      const std::vector<std::uint32_t>& thresholds) {
+    const AbsVal j = join(prev, next);
+    if (j == prev || prev.is_top()) return prev;
+    if (j.is_top() || prev.is_bottom()) return j;
+    // Constant sets may keep growing up to kMaxConsts without widening.
+    if (j.kind_ == Kind::kConsts) return j;
+    std::uint32_t lo = j.min();
+    std::uint32_t hi = j.max();
+    if (!prev.is_bottom() && lo < prev.min()) {
+      // Largest threshold <= lo, else 0.
+      std::uint32_t snapped = 0;
+      for (const std::uint32_t t : thresholds)
+        if (t <= lo) snapped = t;
+      lo = snapped;
+    }
+    if (!prev.is_bottom() && hi > prev.max()) {
+      // Smallest threshold > hi, else top.
+      std::uint32_t snapped = 0;
+      bool found = false;
+      for (const std::uint32_t t : thresholds)
+        if (t > hi) {
+          snapped = t;
+          found = true;
+          break;
+        }
+      if (!found) return top();
+      hi = snapped;
+    }
+    return interval(lo, hi, 1);
+  }
+
+  // ---- transfer functions --------------------------------------------------
+
+  static AbsVal add(const AbsVal& a, const AbsVal& b) {
+    return arith(a, b, [](std::uint64_t x, std::uint64_t y) { return x + y; });
+  }
+  static AbsVal sub(const AbsVal& a, const AbsVal& b) {
+    // Interval minus a constant keeps the shape when no borrow is possible.
+    if (const auto c = b.as_constant(); c && a.kind_ == Kind::kInterval &&
+                                        a.min() >= *c)
+      return interval(a.min() - *c, a.max() - *c, a.stride_);
+    // Otherwise unsigned borrows wrap; only exact constant pairs are safe
+    // to evaluate (32-bit wrap is intentional there — `addi r, r, -8`).
+    return exact(a, b, [](std::uint32_t x, std::uint32_t y) { return x - y; });
+  }
+  static AbsVal mul(const AbsVal& a, const AbsVal& b) {
+    return arith(a, b, [](std::uint64_t x, std::uint64_t y) { return x * y; });
+  }
+  static AbsVal and_(const AbsVal& a, const AbsVal& b) {
+    const AbsVal e =
+        exact(a, b, [](std::uint32_t x, std::uint32_t y) { return x & y; });
+    if (!e.is_top()) return e;
+    // x & y <= min(max(x), max(y)) for unsigned operands.
+    if (a.bounded() && b.bounded())
+      return interval(0, std::min(a.max(), b.max()));
+    if (a.bounded()) return interval(0, a.max());
+    if (b.bounded()) return interval(0, b.max());
+    return top();
+  }
+  static AbsVal or_(const AbsVal& a, const AbsVal& b) {
+    return exact(a, b, [](std::uint32_t x, std::uint32_t y) { return x | y; });
+  }
+  static AbsVal xor_(const AbsVal& a, const AbsVal& b) {
+    return exact(a, b, [](std::uint32_t x, std::uint32_t y) { return x ^ y; });
+  }
+  static AbsVal shl(const AbsVal& a, const AbsVal& sh) {
+    const auto c = sh.as_constant();
+    if (!c) return exact(a, sh, [](std::uint32_t x, std::uint32_t y) {
+      return x << (y & 31);
+    });
+    const std::uint32_t s = *c & 31;
+    if (a.kind_ == Kind::kInterval) {
+      // Shape-preserving shift: a stride-k interval becomes stride-(k<<s).
+      if ((std::uint64_t{a.hi_} << s) >= (std::uint64_t{1} << 32))
+        return top();
+      return interval(a.lo_ << s, a.hi_ << s, a.stride_ << s);
+    }
+    return arith(a, constant(1u << s),
+                 [](std::uint64_t x, std::uint64_t y) { return x * y; });
+  }
+  static AbsVal shr(const AbsVal& a, const AbsVal& sh) {
+    const auto c = sh.as_constant();
+    if (c && a.bounded()) {
+      const std::uint32_t s = *c & 31;
+      return interval(a.min() >> s, a.max() >> s);
+    }
+    return exact(a, sh, [](std::uint32_t x, std::uint32_t y) {
+      return x >> (y & 31);
+    });
+  }
+
+  /// Interval with known bounds (constants or interval kinds).
+  bool bounded() const {
+    return kind_ == Kind::kConsts || kind_ == Kind::kInterval;
+  }
+
+ private:
+  enum class Kind : std::uint8_t { kBottom, kConsts, kInterval, kTop };
+
+  std::uint32_t stride_of() const {
+    if (kind_ == Kind::kInterval) return stride_;
+    if (kind_ == Kind::kConsts && consts_.size() >= 2) {
+      std::uint32_t g = 0;
+      for (std::size_t i = 1; i < consts_.size(); ++i)
+        g = std::gcd(g, consts_[i] - consts_[i - 1]);
+      return g == 0 ? 1 : g;
+    }
+    return 1;  // single constant: any stride divides a point
+  }
+
+  static AbsVal hull(const std::vector<std::uint32_t>& sorted) {
+    std::uint32_t g = 0;
+    for (std::size_t i = 1; i < sorted.size(); ++i)
+      g = std::gcd(g, sorted[i] - sorted[i - 1]);
+    return interval(sorted.front(), sorted.back(), g == 0 ? 1 : g);
+  }
+
+  /// Pairwise evaluation over two constant sets; anything else is top.
+  template <typename F>
+  static AbsVal exact(const AbsVal& a, const AbsVal& b, F f) {
+    if (a.kind_ == Kind::kBottom || b.kind_ == Kind::kBottom) return bottom();
+    if (a.kind_ != Kind::kConsts || b.kind_ != Kind::kConsts) return top();
+    std::vector<std::uint32_t> out;
+    out.reserve(a.consts_.size() * b.consts_.size());
+    for (const std::uint32_t x : a.consts_)
+      for (const std::uint32_t y : b.consts_) out.push_back(f(x, y));
+    return consts(std::move(out));
+  }
+
+  /// Monotone unsigned arithmetic in 64 bits; a result past 2^32 (i.e. a
+  /// potential wrap) goes to top. Constant sets stay exact, intervals
+  /// combine bound-wise with gcd strides.
+  template <typename F>
+  static AbsVal arith(const AbsVal& a, const AbsVal& b, F f) {
+    if (a.kind_ == Kind::kBottom || b.kind_ == Kind::kBottom) return bottom();
+    if (a.kind_ == Kind::kTop || b.kind_ == Kind::kTop) return top();
+    constexpr std::uint64_t kLimit = std::uint64_t{1} << 32;
+    if (f(a.max(), b.max()) >= kLimit) return top();
+    if (a.kind_ == Kind::kConsts && b.kind_ == Kind::kConsts)
+      return exact(a, b, [&](std::uint32_t x, std::uint32_t y) {
+        return static_cast<std::uint32_t>(f(x, y));
+      });
+    const auto lo = static_cast<std::uint32_t>(f(a.min(), b.min()));
+    const auto hi = static_cast<std::uint32_t>(f(a.max(), b.max()));
+    if (lo > hi) return top();  // non-monotone corner (e.g. mul by 0-set)
+    std::uint32_t stride = std::gcd(a.stride_of(), b.stride_of());
+    if (stride == 0 || (hi - lo) % stride != 0)
+      stride = std::gcd(stride, hi - lo);
+    return interval(lo, hi, stride == 0 ? 1 : stride);
+  }
+
+  Kind kind_ = Kind::kBottom;
+  std::vector<std::uint32_t> consts_;  ///< sorted, unique (kConsts)
+  std::uint32_t lo_ = 0, hi_ = 0, stride_ = 1;  ///< (kInterval)
+};
+
+}  // namespace sofia::verify

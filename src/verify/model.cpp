@@ -1,10 +1,11 @@
 // Builds the linter's trusted reference (ProgramModel) from a completed
 // transform: block geometry and declared predecessor words straight from
 // the layout, return targets from the normalized program's CFG (the link
-// register of every call site), and store hazards from straight-line
-// constant propagation over the placed (fixed-up) instructions.
+// register of every call site), declared indirect target sets from the
+// `.targets` annotations, and the initial data section from the image so
+// the dataflow engine (verify/dataflow.hpp) can resolve loads from
+// provably-clean data.
 #include <algorithm>
-#include <array>
 #include <optional>
 #include <utility>
 
@@ -13,50 +14,6 @@
 #include "verify/verify.hpp"
 
 namespace sofia::verify {
-
-namespace {
-
-/// Constant propagation over one straight-line run: tracks registers whose
-/// value is statically known (r0, lui/ori/addi/add chains — the `la` and
-/// `li` expansions) and records every store whose base register is known.
-/// Runs never span a control transfer, so no merging is needed.
-class ConstProp {
- public:
-  ConstProp() { known_[isa::kRegZero] = 0u; }
-
-  /// Feed one instruction (absolute word address + decoded form); returns
-  /// the effective address when it is a store with a known base.
-  std::optional<StoreHazard> step(std::uint32_t word_addr,
-                                  const isa::Instruction& in) {
-    if (isa::is_store(in.op)) {
-      if (!known_[in.ra]) return std::nullopt;
-      return StoreHazard{word_addr, *known_[in.ra] +
-                                        static_cast<std::uint32_t>(in.imm)};
-    }
-    if (!isa::writes_rd(in.op) || in.rd == isa::kRegZero) return std::nullopt;
-    std::optional<std::uint32_t> v;
-    const auto ra = known_[in.ra];
-    const auto imm = static_cast<std::uint32_t>(in.imm);
-    switch (in.op) {
-      case isa::Opcode::kLui: v = imm << 14; break;
-      case isa::Opcode::kOri: if (ra) v = *ra | imm; break;
-      case isa::Opcode::kXori: if (ra) v = *ra ^ imm; break;
-      case isa::Opcode::kAndi: if (ra) v = *ra & imm; break;
-      case isa::Opcode::kAddi: if (ra) v = *ra + imm; break;
-      case isa::Opcode::kAdd:
-        if (ra && known_[in.rb]) v = *ra + *known_[in.rb];
-        break;
-      default: break;  // anything else makes rd unknown
-    }
-    known_[in.rd] = v;
-    return std::nullopt;
-  }
-
- private:
-  std::array<std::optional<std::uint32_t>, isa::kNumRegs> known_{};
-};
-
-}  // namespace
 
 ProgramModel model_of(const xform::TransformResult& t) {
   const xform::BlockLayout& layout = t.layout;
@@ -67,6 +24,9 @@ ProgramModel model_of(const xform::TransformResult& t) {
   m.text_base = layout.text_base_word() * 4;
   m.entry = layout.entry_target_addr(layout.reset_entry());
   m.entry_prev_word = assembler::kResetPrevWord;
+  m.data_base = t.image.data_base;
+  m.stack_top = t.image.stack_top;
+  m.data = t.image.data;
 
   m.blocks.reserve(layout.blocks().size());
   for (const xform::Block& blk : layout.blocks()) {
@@ -76,6 +36,9 @@ ProgramModel model_of(const xform::TransformResult& t) {
     mb.pred1_word = blk.pred1_word;
     mb.pred2_word = blk.pred2_word;
     mb.synthesized = blk.synthesized;
+    mb.entry1_label = blk.entry1_label;
+    mb.entry2_label = blk.entry2_label;
+    mb.exit_label = blk.exit_label;
     mb.inst_words.reserve(blk.insts.size());
     for (const xform::PlacedInst& pi : blk.insts)
       mb.inst_words.push_back(isa::encode(pi.inst));
@@ -114,39 +77,22 @@ ProgramModel model_of(const xform::TransformResult& t) {
       if (const auto blk = block_of(r)) m.blocks[*blk].ret_targets = targets;
   }
 
-  // Store hazards: propagate constants through each run using the *placed*
-  // instructions (their immediates carry the post-layout address fixups;
-  // the normalized program's do not). The placed word of a source
-  // instruction maps back into the model block built above.
-  const auto placed_inst = [&](std::uint32_t src)
-      -> std::optional<std::pair<std::uint32_t, isa::Instruction>> {
-    try {
-      const std::uint32_t word = layout.placed_addr(src) / 4;
-      const std::uint32_t rel = word - layout.text_base_word();
-      const ModelBlock& mb = m.blocks[rel / b];
-      const std::uint32_t header =
-          b - static_cast<std::uint32_t>(mb.inst_words.size());
-      const auto inst = isa::decode(mb.inst_words[rel % b - header]);
-      if (!inst) return std::nullopt;
-      return std::make_pair(word, *inst);
-    } catch (const std::exception&) {
-      return std::nullopt;
-    }
-  };
-
-  for (const std::uint32_t leader : g.leaders()) {
-    ConstProp prop;
-    for (std::uint32_t i = leader; i < g.run_end(leader); ++i) {
-      const auto pi = placed_inst(i);
-      if (!pi) break;  // elided run
-      if (const auto hazard = prop.step(pi->first, pi->second))
-        m.store_hazards.push_back(*hazard);
-    }
+  // Gated indirect jumps: each surviving jump-form jalr's declared target
+  // set, resolved to the targets' canonical indirect entries (the only
+  // addresses the sealed labels authorize).
+  for (std::uint32_t i = 0; i < t.normalized.text.size(); ++i) {
+    const assembler::SourceInst& si = t.normalized.text[i];
+    if (si.inst.op != isa::Opcode::kJalr || cfg::is_ret(si.inst)) continue;
+    const auto blk = block_of(i);
+    if (!blk) continue;  // elided
+    std::vector<std::uint32_t> targets;
+    for (const std::string& name : si.indirect_targets)
+      targets.push_back(
+          layout.indirect_entry_addr(t.normalized.text_labels.at(name)));
+    std::sort(targets.begin(), targets.end());
+    targets.erase(std::unique(targets.begin(), targets.end()), targets.end());
+    m.blocks[*blk].jalr_targets = std::move(targets);
   }
-  std::sort(m.store_hazards.begin(), m.store_hazards.end(),
-            [](const StoreHazard& a, const StoreHazard& b2) {
-              return a.word_addr < b2.word_addr;
-            });
 
   return m;
 }

@@ -12,6 +12,7 @@
 #include "cfg/cfg.hpp"
 #include "support/error.hpp"
 #include "support/json.hpp"
+#include "verify/dataflow.hpp"
 
 namespace sofia::verify {
 
@@ -63,7 +64,18 @@ const std::vector<RuleInfo>& rule_catalog() {
       {Rule::kUnreachableBlock, Severity::kWarning, "unreachable-block",
        "no control path from the reset entry reaches this sealed block"},
       {Rule::kStoreToText, Severity::kWarning, "store-to-text",
-       "a store's statically resolved address falls inside the text section"},
+       "a store's bounded abstract address may fall inside the text "
+       "section"},
+      {Rule::kStoreToTextProven, Severity::kError, "store-to-text-proven",
+       "a store's abstract address is proven to lie entirely inside the "
+       "sealed text section"},
+      {Rule::kUnresolvedIndirect, Severity::kError, "unresolved-indirect",
+       "an indirect jump has no finite target set: nothing declared to "
+       "gate it, or the dataflow proved a target outside the gated set"},
+      {Rule::kIndirectTargetUnproven, Severity::kWarning,
+       "indirect-target-unproven",
+       "the dataflow engine could not independently bound a gated indirect "
+       "jump; only the runtime gate confines it to the declared set"},
   };
   return catalog;
 }
@@ -138,8 +150,28 @@ void Report::to_json(json::Writer& w) const {
   w.member("blocks_checked", blocks_checked);
   w.member("entries_checked", entries_checked);
   w.member("edges_checked", edges_checked);
+  w.member("stores_checked", stores_checked);
+  w.member("stores_proven_safe", stores_proven_safe);
   w.member("errors", static_cast<std::uint64_t>(count(Severity::kError)));
   w.member("warnings", static_cast<std::uint64_t>(count(Severity::kWarning)));
+  w.key("indirects").begin_array();
+  for (const IndirectTargets& t : indirects) {
+    w.begin_object();
+    w.member("block", static_cast<std::int64_t>(t.block));
+    w.member("insn", static_cast<std::int64_t>(t.insn));
+    w.key("declared").begin_array();
+    for (const std::uint32_t a : t.declared) w.value(a);
+    w.end_array();
+    if (t.proven_finite) {
+      w.key("proven").begin_array();
+      for (const std::uint32_t a : t.proven) w.value(a);
+      w.end_array();
+    } else {
+      w.key("proven").null();
+    }
+    w.end_object();
+  }
+  w.end_array();
   w.key("findings").begin_array();
   for (const Finding& f : findings) {
     w.begin_object();
@@ -161,6 +193,90 @@ std::vector<Rule> error_rules(const Report& report) {
   std::sort(rules.begin(), rules.end());
   rules.erase(std::unique(rules.begin(), rules.end()), rules.end());
   return rules;
+}
+
+const RuleInfo* find_rule(std::string_view name) {
+  for (const RuleInfo& info : rule_catalog())
+    if (info.name == name) return &info;
+  return nullptr;
+}
+
+void to_sarif(const Report& report, std::string_view artifact,
+              json::Writer& w) {
+  const auto level_of = [](Severity s) -> std::string_view {
+    switch (s) {
+      case Severity::kError: return "error";
+      case Severity::kWarning: return "warning";
+      case Severity::kNote: return "note";
+    }
+    return "none";
+  };
+  w.begin_object();
+  w.member("$schema",
+           "https://json.schemastore.org/sarif-2.1.0.json");
+  w.member("version", "2.1.0");
+  w.key("runs").begin_array();
+  w.begin_object();
+  w.key("tool").begin_object();
+  w.key("driver").begin_object();
+  w.member("name", "sofia-lint");
+  w.member("informationUri",
+           "https://github.com/sofia-cfi/sofia#static-verifier");
+  w.key("rules").begin_array();
+  for (const RuleInfo& info : rule_catalog()) {
+    w.begin_object();
+    w.member("id", info.name);
+    w.key("shortDescription").begin_object();
+    w.member("text", info.description);
+    w.end_object();
+    w.key("defaultConfiguration").begin_object();
+    w.member("level", level_of(info.severity));
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();  // driver
+  w.end_object();  // tool
+  w.key("results").begin_array();
+  for (const Finding& f : report.findings) {
+    w.begin_object();
+    w.member("ruleId", to_string(f.rule));
+    w.member("ruleIndex",
+             static_cast<std::uint64_t>(static_cast<std::size_t>(f.rule)));
+    w.member("level", level_of(f.severity));
+    w.key("message").begin_object();
+    w.member("text", f.message);
+    w.end_object();
+    w.key("locations").begin_array();
+    w.begin_object();
+    w.key("physicalLocation").begin_object();
+    w.key("artifactLocation").begin_object();
+    w.member("uri", artifact);
+    w.end_object();
+    if (f.insn >= 0) {
+      // SARIF regions are 1-based; map the absolute word address to a
+      // stable synthetic "line".
+      w.key("region").begin_object();
+      w.member("startLine", f.insn + 1);
+      w.end_object();
+    }
+    w.end_object();  // physicalLocation
+    if (f.block >= 0) {
+      w.key("logicalLocations").begin_array();
+      w.begin_object();
+      w.member("name", "block " + std::to_string(f.block));
+      w.member("kind", "module");
+      w.end_object();
+      w.end_array();
+    }
+    w.end_object();  // location
+    w.end_array();
+    w.end_object();  // result
+  }
+  w.end_array();
+  w.end_object();  // run
+  w.end_array();
+  w.end_object();
 }
 
 // ---------------------------------------------------------------------------
@@ -188,7 +304,9 @@ class Linter {
     check_entries();
     check_seals();
     check_unreachable();
-    check_hazards();
+    df_ = dataflow::analyze(m_);
+    check_stores();
+    check_indirects();
     sort_findings(report_.findings);
     return std::move(report_);
   }
@@ -288,7 +406,8 @@ class Linter {
               "store at block word " + std::to_string(word_index) +
                   "; the policy confines stores to words >= " +
                   std::to_string(m_.policy.store_min_word));
-        if (inst->op == isa::Opcode::kJalr && !cfg::is_ret(*inst))
+        if (inst->op == isa::Opcode::kJalr && !cfg::is_ret(*inst) &&
+            !(scheme_.traits().gates_indirect && !blk.jalr_targets.empty()))
           add(Rule::kStrayIndirectJump, static_cast<std::int64_t>(i), insn,
               "indirect jump survived devirtualization; its targets cannot "
               "be verified statically");
@@ -358,10 +477,18 @@ class Linter {
         resolve(i, exit_word, (exit_word + in.imm) * 4, prev,
                 in.rd == isa::kRegZero ? "jump" : "call");
       } else if (in.op == isa::Opcode::kJalr) {
-        if (cfg::is_ret(in))
+        if (cfg::is_ret(in)) {
           for (const std::uint32_t target : blk.ret_targets)
             resolve(i, exit_word, target, prev, "return");
-        // non-ret jalr: flagged by check_static, nothing to follow
+        } else {
+          // Gated indirect jump: every declared target is entered through
+          // its canonical indirect entry, sealed against the sentinel.
+          // (Un-gated stray jalr are flagged by check_static; their
+          // declared sets are empty and nothing is followed here.)
+          for (const std::uint32_t target : blk.jalr_targets)
+            resolve(i, exit_word, target, assembler::kIndirectPrevWord,
+                    "indirect jump");
+        }
       } else if (in.op != isa::Opcode::kHalt) {
         resolve(i, exit_word, fall, prev, "fall-through");
       }
@@ -403,7 +530,8 @@ class Linter {
       if (blk.inst_words.size() != expected_insts(blk)) continue;
       expected[i] = sealer->seal(
           scheme::BlockInfo{blk.is_mux, blk.base_word, blk.pred1_word,
-                            blk.pred2_word},
+                            blk.pred2_word, blk.entry1_label,
+                            blk.entry2_label, blk.exit_label},
           blk.inst_words);
     }
 
@@ -490,18 +618,84 @@ class Linter {
                 "reaches it");
   }
 
-  void check_hazards() {
-    if (!opts_.store_to_text_warnings) return;
-    const std::uint64_t base = m_.text_base;
-    const std::uint64_t limit = base + std::uint64_t{m_.total_words()} * 4;
-    for (const StoreHazard& h : m_.store_hazards) {
-      if (h.effective_addr < base || h.effective_addr >= limit) continue;
-      const std::uint32_t rel = h.word_addr - m_.text_base / 4;
-      add(Rule::kStoreToText, rel / b_, h.word_addr,
-          "store writes " + hex32(h.effective_addr) +
-              ", inside the sealed text section");
+  // ---- dataflow consumers --------------------------------------------------
+
+  /// Classify every store by its abstract effective address: proven inside
+  /// text is an error, a bounded range that may reach text is a warning,
+  /// proven disjoint is silently safe. Unbounded (top) addresses carry no
+  /// static information and are left to the runtime's seal integrity.
+  void check_stores() {
+    const std::uint32_t base = m_.text_base;
+    const std::uint32_t limit =
+        base + static_cast<std::uint32_t>(std::uint64_t{m_.total_words()} * 4);
+    for (const dataflow::StoreFact& st : df_.stores) {
+      ++report_.stores_checked;
+      if (st.addr.proven_outside(base, limit)) {
+        ++report_.stores_proven_safe;
+        continue;
+      }
+      if (st.addr.proven_in(base, limit)) {
+        add(Rule::kStoreToTextProven, st.block, st.word_addr,
+            "store is proven to write inside the sealed text section "
+            "(address range " + hex32(st.addr.min()) + ".." +
+                hex32(st.addr.max()) + ")");
+      } else if (st.addr.bounded() && opts_.store_to_text_warnings) {
+        add(Rule::kStoreToText, st.block, st.word_addr,
+            "store address range " + hex32(st.addr.min()) + ".." +
+                hex32(st.addr.max()) +
+                " may reach the sealed text section");
+      }
     }
   }
+
+  /// Cross-check every surviving indirect jump's dataflow-proven target
+  /// set against the declared (sealed) gated set, and record both for the
+  /// sofia-lint-v2 document.
+  void check_indirects() {
+    const bool gates = scheme_.traits().gates_indirect;
+    for (const dataflow::IndirectFact& f : df_.indirects) {
+      const ModelBlock& blk = m_.blocks[f.block];
+      IndirectTargets rec;
+      rec.block = f.block;
+      rec.insn = f.word_addr;
+      rec.declared = blk.jalr_targets;
+      if (const auto proven = f.target.enumerate(kMaxProvenTargets)) {
+        rec.proven_finite = true;
+        rec.proven = *proven;
+      }
+      if (gates && !blk.jalr_targets.empty()) {
+        if (rec.proven_finite) {
+          for (const std::uint32_t t : rec.proven)
+            if (!std::binary_search(rec.declared.begin(), rec.declared.end(),
+                                    t))
+              add(Rule::kUnresolvedIndirect, f.block, f.word_addr,
+                  "dataflow proves target " + hex32(t) +
+                      " is reachable but it is outside the declared gated "
+                      "set");
+        } else {
+          add(Rule::kIndirectTargetUnproven, f.block, f.word_addr,
+              "target set could not be independently proven; the runtime "
+              "gate confines it to the " +
+                  std::to_string(rec.declared.size()) +
+                  " declared target(s)");
+        }
+      } else if (gates) {
+        add(Rule::kUnresolvedIndirect, f.block, f.word_addr,
+            "indirect jump has no declared target set to gate");
+      } else if (!rec.proven_finite) {
+        // Non-gating scheme: check_static already errors on the stray
+        // jalr; an unbounded target set is a second, distinct fact.
+        add(Rule::kUnresolvedIndirect, f.block, f.word_addr,
+            "indirect jump target set is unbounded; no finite "
+            "over-approximation exists");
+      }
+      report_.indirects.push_back(std::move(rec));
+    }
+  }
+
+  /// Largest proven target set recorded per jalr; a bound this size is no
+  /// longer a meaningful forward-edge statement.
+  static constexpr std::size_t kMaxProvenTargets = 64;
 
   const ProgramModel& m_;
   const assembler::LoadImage& img_;
@@ -510,6 +704,7 @@ class Linter {
   const scheme::ProtectionScheme& scheme_;
   const std::uint32_t b_;
 
+  dataflow::DataflowResult df_;
   Report report_;
   bool seal_comparable_ = true;
   std::vector<bool> visited_;

@@ -67,7 +67,10 @@ enum class Rule : std::uint8_t {
   kUndecodableInstruction, ///< sealed body word is not a valid instruction
   kStrayIndirectJump,      ///< a non-ret jalr survived devirtualization
   kUnreachableBlock,       ///< sealed block no walk from the entry reaches
-  kStoreToText,            ///< store with a statically known text address
+  kStoreToText,            ///< store whose bounded address may reach text
+  kStoreToTextProven,      ///< store proven to write inside the text section
+  kUnresolvedIndirect,     ///< indirect jump with no finite target set
+  kIndirectTargetUnproven, ///< gated target set not independently provable
 };
 
 std::string_view to_string(Rule rule);
@@ -97,14 +100,28 @@ struct Finding {
   std::string message;
 };
 
+/// Per-indirect-jump target-set record: the gated (declared) entry set and
+/// the dataflow engine's independently proven set when it is finite. The
+/// sofia-lint-v2 document emits these under "indirects".
+struct IndirectTargets {
+  std::int64_t block = -1;
+  std::int64_t insn = -1;  ///< absolute word address of the jalr
+  std::vector<std::uint32_t> declared;  ///< sealed entry byte addresses
+  std::vector<std::uint32_t> proven;    ///< dataflow-enumerated byte addrs
+  bool proven_finite = false;  ///< false => `proven` is meaningless
+};
+
 /// The lint result: findings sorted by (block, insn, rule, message) plus
-/// coverage counters, rendered as text or as the "report" object of a
-/// sofia-lint-v1 document.
+/// coverage counters and per-jalr target sets, rendered as text or as the
+/// "report" object of a sofia-lint-v2 document.
 struct Report {
   std::vector<Finding> findings;
+  std::vector<IndirectTargets> indirects;  ///< one per surviving jalr
   std::uint32_t blocks_checked = 0;   ///< blocks whose sealing was compared
   std::uint32_t entries_checked = 0;  ///< distinct (block, entry) pairs seen
   std::uint32_t edges_checked = 0;    ///< control transfers resolved
+  std::uint32_t stores_checked = 0;      ///< stores the dataflow examined
+  std::uint32_t stores_proven_safe = 0;  ///< proven outside the text section
 
   std::size_t count(Severity severity) const;
   /// No error-severity findings (warnings/notes do not fail --assert-clean).
@@ -113,9 +130,9 @@ struct Report {
   /// Human-readable, one line per finding plus a summary line.
   std::string render_text() const;
 
-  /// Emit the report as a complete JSON object (counters + findings) through
-  /// the deterministic writer; the sofia-lint-v1 document embeds it under
-  /// "report".
+  /// Emit the report as a complete JSON object (counters + findings +
+  /// indirect target sets) through the deterministic writer; the
+  /// sofia-lint-v2 document embeds it under "report".
   void to_json(json::Writer& w) const;
 };
 
@@ -123,6 +140,18 @@ struct Report {
 /// campaign engine's triage uses this to attribute what the static layer
 /// would have caught about a runtime escape.
 std::vector<Rule> error_rules(const Report& report);
+
+/// Look up a catalog row by its kebab-case rule id; nullptr when no rule
+/// has that name. The catalog is the single source for rule ids — CLI
+/// validation, JSON, SARIF and the README table all render from it.
+const RuleInfo* find_rule(std::string_view name);
+
+/// Emit the report as a SARIF 2.1.0 document (the interchange format CI
+/// annotation pipelines consume). `artifact` names the linted unit (source
+/// path or workload name). Output is deterministic: rules appear in
+/// catalog order, results in the report's sorted finding order.
+void to_sarif(const Report& report, std::string_view artifact,
+              json::Writer& w);
 
 // ---- inputs ----------------------------------------------------------------
 
@@ -134,13 +163,6 @@ struct DeviceSpec {
   std::string scheme = std::string(scheme::kDefaultScheme);
   crypto::Granularity granularity = crypto::Granularity::kPerPair;
   xform::BlockPolicy policy = xform::BlockPolicy::paper_default();
-};
-
-/// A store whose effective address the model resolved statically (straight-
-/// line constant propagation over lui/ori/addi chains within one run).
-struct StoreHazard {
-  std::uint32_t word_addr = 0;       ///< absolute word address of the store
-  std::uint32_t effective_addr = 0;  ///< byte address the store writes
 };
 
 /// The linter's view of one laid-out block: geometry, the predecessor exit
@@ -155,6 +177,14 @@ struct ModelBlock {
   /// Byte addresses a terminating `ret` transfers to (lr values of every
   /// call site, from CFG function analysis). Empty for non-ret exits.
   std::vector<std::uint32_t> ret_targets;
+  /// Byte addresses a gated exit jalr may transfer to — the declared
+  /// target set's canonical indirect entries (gating schemes only).
+  std::vector<std::uint32_t> jalr_targets;
+  /// Forward-edge target-set labels the block was sealed with (zero
+  /// everywhere under non-gating schemes; see scheme/label.hpp).
+  std::uint8_t entry1_label = 0;
+  std::uint8_t entry2_label = 0;
+  std::uint8_t exit_label = 0;
   bool synthesized = false;  ///< forwarding/thunk/landing block
 };
 
@@ -165,7 +195,12 @@ struct ProgramModel {
   std::uint32_t entry = 0;      ///< byte address the reset transfers to
   std::uint32_t entry_prev_word = assembler::kResetPrevWord;
   std::vector<ModelBlock> blocks;
-  std::vector<StoreHazard> store_hazards;
+  /// Initial data-section contents, so the dataflow engine can resolve
+  /// loads from provably-clean data (a dispatch table is data the program
+  /// never overwrites). Empty when the program has no data section.
+  std::uint32_t data_base = 0;
+  std::uint32_t stack_top = 0;
+  std::vector<std::uint8_t> data;
 
   std::uint32_t total_words() const {
     return static_cast<std::uint32_t>(blocks.size()) *
@@ -175,8 +210,9 @@ struct ProgramModel {
 
 /// Build the reference model from a completed transform: block geometry and
 /// predecessor words from the layout, ret targets from the normalized
-/// program's CFG, store hazards from constant propagation over the placed
-/// instructions.
+/// program's CFG, declared indirect target sets from the `.targets`
+/// annotations, and the initial data section from the image (the dataflow
+/// engine's load-resolution substrate).
 ProgramModel model_of(const xform::TransformResult& t);
 
 struct Options {

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "assembler/image.hpp"
+#include "scheme/label.hpp"
 #include "support/bits.hpp"
 #include "support/error.hpp"
 
@@ -15,6 +16,11 @@ namespace {
 
 /// Synthetic `from` value identifying the architectural reset edge.
 constexpr std::uint32_t kResetFrom = 0xFFFFFFFEu;
+
+/// Synthetic `from` value identifying a leader's canonical indirect entry
+/// (all gated jump-form jalr share it; the entry seals against
+/// assembler::kIndirectPrevWord instead of a real predecessor).
+constexpr std::uint32_t kIndirectFrom = 0xFFFFFFFDu;
 
 Instruction make_nop() { return Instruction{}; }
 
@@ -29,7 +35,8 @@ Instruction make_jump() {
 struct Group {
   std::uint32_t from = kResetFrom;  ///< transferring instruction, or reset
   bool is_reset = false;
-  bool has_return = false;  ///< contains a kReturn edge
+  bool has_return = false;    ///< contains a kReturn edge
+  bool is_indirect = false;   ///< the canonical indirect entry
 };
 
 /// Where a group was rerouted to (thunk / landing / synthesized jump).
@@ -53,7 +60,9 @@ class Packer {
          bool elide_unreachable, BlockLayout& out, LayoutStats& stats,
          std::vector<Block>& blocks,
          std::map<std::uint32_t, std::pair<std::uint32_t, std::uint32_t>>& placement,
-         std::map<EdgeKey, EntryRef>& entries, EntryRef& reset_entry)
+         std::map<EdgeKey, EntryRef>& entries,
+         std::map<std::uint32_t, EntryRef>& indirect_entries,
+         EntryRef& reset_entry)
       : prog_(prog),
         cfg_(cfg),
         policy_(policy),
@@ -64,15 +73,18 @@ class Packer {
         blocks_(blocks),
         placement_(placement),
         entries_(entries),
+        indirect_entries_(indirect_entries),
         reset_entry_(reset_entry) {}
 
   void run() {
     collect_groups();
     pack_runs();
     assign_entries_and_trees();
+    collect_indirect_entries();
     assign_addresses();
     resolve_preds();
     fix_immediates();
+    assign_labels();
     verify();
   }
 
@@ -82,7 +94,14 @@ class Packer {
   void collect_groups() {
     for (const std::uint32_t leader : cfg_.leaders()) {
       std::vector<Group>& groups = groups_[leader];
+      bool indirect_target = false;
       for (const cfg::Edge& e : cfg_.preds(leader)) {
+        if (e.kind == cfg::EdgeKind::kIndirect) {
+          // Every indirect source shares one canonical entry; the dynamic
+          // predecessor never appears in the counter.
+          indirect_target = true;
+          continue;
+        }
         auto it = std::find_if(groups.begin(), groups.end(),
                                [&](const Group& g) { return g.from == e.from; });
         if (it == groups.end()) {
@@ -95,6 +114,8 @@ class Packer {
                 [](const Group& a, const Group& b) { return a.from < b.from; });
       if (leader == cfg_.entry())
         groups.insert(groups.begin(), Group{kResetFrom, true, false});
+      if (indirect_target)
+        groups.push_back(Group{kIndirectFrom, false, false, true});
       if (groups.empty())  // unreachable code: give it a reset pred
         groups.push_back(Group{kResetFrom, true, false});
     }
@@ -336,6 +357,8 @@ class Packer {
   Input input_for(std::uint32_t leader, const Group& g) {
     if (g.is_reset)
       return {{kResetFrom, leader, false}, {PredRef::Kind::kReset, 0}};
+    if (g.is_indirect)
+      return {{kIndirectFrom, leader, false}, {PredRef::Kind::kIndirect, 0}};
     if (auto it = reroutes_.find({g.from, leader}); it != reroutes_.end()) {
       const Reroute& r = it->second;
       if (r.via_new_jump)
@@ -393,6 +416,17 @@ class Packer {
     return {{id, leader, true}, {PredRef::Kind::kBlockExit, id}};
   }
 
+  /// Record each declared indirect target's assigned entry (possibly a
+  /// forwarding-tree entry when the leader has many predecessors).
+  void collect_indirect_entries() {
+    for (const auto& [leader, groups] : groups_) {
+      if (elided(leader)) continue;
+      for (const Group& g : groups)
+        if (g.is_indirect)
+          indirect_entries_[leader] = entries_.at({kIndirectFrom, leader, false});
+    }
+  }
+
   // ---- phase C: addresses & predecessor words ------------------------------
 
   void assign_addresses() {
@@ -408,6 +442,8 @@ class Packer {
     switch (p.kind) {
       case PredRef::Kind::kReset:
         return assembler::kResetPrevWord;
+      case PredRef::Kind::kIndirect:
+        return assembler::kIndirectPrevWord;
       case PredRef::Kind::kBlockExit:
         return blocks_[p.value].base_word + policy_.words_per_block - 1;
       case PredRef::Kind::kInstBlock: {
@@ -430,8 +466,14 @@ class Packer {
   // ---- phase D: immediate fixups -------------------------------------------
 
   std::uint32_t label_addr(const std::string& label) const {
-    if (auto it = prog_.text_labels.find(label); it != prog_.text_labels.end())
+    if (auto it = prog_.text_labels.find(label); it != prog_.text_labels.end()) {
+      // The address of an indirect target IS its canonical indirect entry:
+      // any materialized pointer to it must be usable by a gated jump.
+      if (auto ind = indirect_entries_.find(it->second);
+          ind != indirect_entries_.end())
+        return out_.entry_target_addr(ind->second);
       return out_.placed_addr(it->second);
+    }
     if (auto it = prog_.data_labels.find(label); it != prog_.data_labels.end())
       return mem_.data_base + it->second;
     throw TransformError("layout: unknown label '" + label + "'");
@@ -467,6 +509,43 @@ class Packer {
     // Program entry.
     const EdgeKey reset_key{kResetFrom, cfg_.entry(), false};
     reset_entry_ = entries_.at(reset_key);
+  }
+
+  // ---- phase E: forward-edge labels ----------------------------------------
+
+  /// Collapse the declared target sets of every placed jump-form jalr into
+  /// label classes and stamp them onto the affected blocks (the sealer
+  /// reads them via BlockInfo; non-gating programs have no sites and every
+  /// label stays zero).
+  void assign_labels() {
+    std::vector<scheme::IndirectSite> sites;
+    for (std::uint32_t i = 0; i < prog_.text.size(); ++i) {
+      const assembler::SourceInst& si = prog_.text[i];
+      if (si.inst.op != Opcode::kJalr || cfg::is_ret(si.inst)) continue;
+      if (placement_.find(i) == placement_.end()) continue;  // elided
+      scheme::IndirectSite site;
+      site.exit_word = out_.placed_addr(i) / 4;
+      for (const std::string& t : si.indirect_targets) {
+        const EntryRef ref = indirect_entries_.at(prog_.text_labels.at(t));
+        site.target_entry_words.push_back(out_.entry_target_addr(ref) / 4);
+      }
+      sites.push_back(std::move(site));
+    }
+    if (sites.empty()) return;
+    const scheme::LabelPlan plan = scheme::assign_labels(sites);
+    const std::uint32_t base = mem_.text_base / 4;
+    for (const auto& [word, label] : plan.entry_label) {
+      const std::uint32_t rel = word - base;
+      Block& b = blocks_[rel / policy_.words_per_block];
+      if (rel % policy_.words_per_block == 2)
+        b.entry2_label = label;
+      else
+        b.entry1_label = label;
+    }
+    for (const auto& [word, label] : plan.exit_label) {
+      const std::uint32_t rel = word - base;
+      blocks_[rel / policy_.words_per_block].exit_label = label;
+    }
   }
 
   EntryRef lookup_entry(const PlacedInst& pi) const {
@@ -510,6 +589,7 @@ class Packer {
   std::vector<Block>& blocks_;
   std::map<std::uint32_t, std::pair<std::uint32_t, std::uint32_t>>& placement_;
   std::map<EdgeKey, EntryRef>& entries_;
+  std::map<std::uint32_t, EntryRef>& indirect_entries_;
   EntryRef& reset_entry_;
 
   std::map<std::uint32_t, std::vector<Group>> groups_;
@@ -537,7 +617,8 @@ BlockLayout BlockLayout::pack(const assembler::Program& prog, const cfg::Cfg& cf
   layout.stats_.source_insts = static_cast<std::uint32_t>(prog.text.size());
   Packer packer(prog, cfg, policy, mem, elide_unreachable, layout,
                 layout.stats_, layout.blocks_, layout.placement_,
-                layout.entries_, layout.reset_entry_);
+                layout.entries_, layout.indirect_entries_,
+                layout.reset_entry_);
   packer.run();
   return layout;
 }
@@ -574,6 +655,14 @@ std::uint32_t BlockLayout::entry_target_addr(const EntryRef& ref) const {
 
 std::uint32_t BlockLayout::exit_word(std::uint32_t block_id) const {
   return blocks_[block_id].base_word + policy_.words_per_block - 1;
+}
+
+std::uint32_t BlockLayout::indirect_entry_addr(std::uint32_t text_index) const {
+  const auto it = indirect_entries_.find(text_index);
+  if (it == indirect_entries_.end())
+    throw TransformError("layout: text index " + std::to_string(text_index) +
+                         " is not a declared indirect target");
+  return entry_target_addr(it->second);
 }
 
 }  // namespace sofia::xform

@@ -38,6 +38,9 @@ struct PredRef {
     kInstBlock,  ///< last word of the block that holds a given source
                  ///< instruction (resolved after packing; used for return
                  ///< edges whose callee is laid out later)
+    kIndirect,   ///< canonical indirect entry: sealed against the
+                 ///< kIndirectPrevWord sentinel, shared by every gated
+                 ///< jump-form jalr that declares this target
   };
   Kind kind = Kind::kReset;
   std::uint32_t value = 0;  ///< block id (kBlockExit) or inst index (kInstBlock)
@@ -69,6 +72,11 @@ struct Block {
   std::uint32_t pred2_word = 0;   ///< mux entry 2's resolved prevPC
   /// True for forwarding (multiplexor-tree interior) and thunk blocks.
   bool synthesized = false;
+  /// Forward-edge target-set labels (scheme/label.hpp): zero unless the
+  /// program has surviving jump-form jalr (gating schemes only).
+  std::uint8_t entry1_label = 0;  ///< class of entry path 1 (word 0)
+  std::uint8_t entry2_label = 0;  ///< class of entry path 2 (mux word 1)
+  std::uint8_t exit_label = 0;    ///< class the exit-slot jalr may reach
 };
 
 /// Identifies which entry of which block an edge must target.
@@ -135,6 +143,23 @@ class BlockLayout {
   /// Word address of a block's last word (the only exit word).
   std::uint32_t exit_word(std::uint32_t block_id) const;
 
+  /// Canonical indirect entries: declared-target leader index -> the entry
+  /// an indirect transfer must use. Empty unless the normalized program
+  /// kept jump-form jalr (a gating scheme is active).
+  const std::map<std::uint32_t, EntryRef>& indirect_entries() const {
+    return indirect_entries_;
+  }
+
+  /// Is this text index a declared indirect-jump target?
+  bool is_indirect_target(std::uint32_t text_index) const {
+    return indirect_entries_.count(text_index) != 0;
+  }
+
+  /// Byte address an indirect transfer to this target leader must use
+  /// (also what its text label resolves to in data tables and address
+  /// materializations). Throws for non-targets.
+  std::uint32_t indirect_entry_addr(std::uint32_t text_index) const;
+
   std::uint32_t text_base_word() const { return text_base_word_; }
   std::uint32_t total_words() const {
     return static_cast<std::uint32_t>(blocks_.size()) * policy_.words_per_block;
@@ -147,6 +172,7 @@ class BlockLayout {
   std::map<std::uint32_t, std::pair<std::uint32_t, std::uint32_t>>
       placement_;  ///< src index -> (block id, slot)
   std::map<EdgeKey, EntryRef> entries_;
+  std::map<std::uint32_t, EntryRef> indirect_entries_;
   EntryRef reset_entry_;
   std::uint32_t text_base_word_ = 0;
 };

@@ -66,7 +66,7 @@ SourceInst synth_jal(unsigned rd, const std::string& label, int line) {
 
 }  // namespace
 
-Program devirtualize(const Program& prog) {
+Program devirtualize(const Program& prog, bool keep_jump_form) {
   Program out;
   out.data = prog.data;
   out.data_labels = prog.data_labels;
@@ -94,8 +94,15 @@ Program devirtualize(const Program& prog) {
       throw TransformError("devirtualize: line " + std::to_string(si.line) +
                            ": indirect jump with non-zero offset unsupported");
 
-    const std::string id = "__devirt" + std::to_string(dispatch_count++);
     const bool is_call = si.inst.rd != isa::kRegZero;
+    if (keep_jump_form && !is_call) {
+      // Gating scheme: the jump survives; the layout/scheme pair seals its
+      // declared target set and the machine enforces it at runtime.
+      out.text.push_back(si);
+      continue;
+    }
+
+    const std::string id = "__devirt" + std::to_string(dispatch_count++);
     // Compare chain.
     for (std::size_t t = 0; t < si.indirect_targets.size(); ++t) {
       const std::string& target = si.indirect_targets[t];

@@ -18,7 +18,15 @@ namespace sofia::xform {
 ///
 /// Throws sofia::TransformError for un-annotated indirect jumps, jalr
 /// through r13, or jalr with a non-zero immediate.
-assembler::Program devirtualize(const assembler::Program& prog);
+///
+/// With `keep_jump_form` true (a forward-edge gating scheme is active),
+/// annotated *jump-form* jalr (rd == r0) are validated but kept: the
+/// scheme seals their target set into the block headers and the machine
+/// gates the transfer at runtime. Call-form jalr are still devirtualized
+/// — a gated call would need its dynamic return point sealed, which the
+/// static counter scheme cannot express.
+assembler::Program devirtualize(const assembler::Program& prog,
+                                bool keep_jump_form = false);
 
 /// Merge multi-ret functions into a single epilogue (extra `ret`s become
 /// jumps to the first one). Required because a return site's block is

@@ -18,6 +18,9 @@ scheme::BlockInfo block_info(const Block& block) {
   info.base_word = block.base_word;
   info.pred1_word = block.pred1_word;
   info.pred2_word = block.pred2_word;
+  info.entry1_label = block.entry1_label;
+  info.entry2_label = block.entry2_label;
+  info.exit_label = block.exit_label;
   return info;
 }
 
@@ -47,7 +50,9 @@ std::vector<std::uint32_t> block_plaintext(const BlockLayout& layout,
 TransformResult transform(const Program& prog, const crypto::KeySet& keys,
                           const Options& opts) {
   TransformResult result;
-  result.normalized = merge_returns(devirtualize(prog));
+  const bool gates_indirect =
+      scheme::get_scheme(opts.scheme).traits().gates_indirect;
+  result.normalized = merge_returns(devirtualize(prog, gates_indirect));
   const cfg::Cfg cfg = cfg::Cfg::build(result.normalized);
   result.layout = BlockLayout::pack(result.normalized, cfg, opts.policy,
                                     opts.mem, opts.elide_unreachable);
@@ -85,7 +90,11 @@ TransformResult transform(const Program& prog, const crypto::KeySet& keys,
     std::uint32_t addr = 0;
     if (auto it = result.normalized.text_labels.find(reloc.symbol);
         it != result.normalized.text_labels.end())
-      addr = result.layout.placed_addr(it->second);
+      // A pointer to an indirect target must name its canonical indirect
+      // entry — that is the only address a gated jump may use.
+      addr = result.layout.is_indirect_target(it->second)
+                 ? result.layout.indirect_entry_addr(it->second)
+                 : result.layout.placed_addr(it->second);
     else
       addr = opts.mem.data_base + result.normalized.data_labels.at(reloc.symbol);
     for (int b = 0; b < 4; ++b)

@@ -8,6 +8,7 @@
 #include <set>
 
 #include "campaign/campaign.hpp"
+#include "pipeline/pipeline.hpp"
 #include "support/error.hpp"
 #include "support/json.hpp"
 
@@ -40,7 +41,7 @@ TEST(Mutation, CatalogMatchesEnum) {
 TEST(Mutation, ResetCauseCountPinsSimEnum) {
   // CellResult::causes is indexed by sim::ResetCause; if the simulator
   // grows a cause this must grow with it.
-  EXPECT_EQ(static_cast<std::size_t>(sim::ResetCause::kStateCorruption) + 1,
+  EXPECT_EQ(static_cast<std::size_t>(sim::ResetCause::kTargetSetViolation) + 1,
             campaign::kResetCauseCount);
   for (std::size_t i = 0; i < campaign::kResetCauseCount; ++i)
     EXPECT_FALSE(sim::to_string(static_cast<sim::ResetCause>(i)).empty());
@@ -81,10 +82,38 @@ TEST(Mutation, GenerationIsSeededAndBounded) {
           ++faults;
           EXPECT_LT(m.a, 4ull * g.text_words);
           break;
+        case MutationKind::kRetargetIndirect:
+          ADD_FAILURE() << "retargets need dispatch slots; this geometry "
+                           "has none";
+          break;
       }
     }
     EXPECT_LE(faults, 1) << "SimConfig carries a single fault slot";
   }
+}
+
+TEST(Mutation, RetargetGenerationStaysOutsideTheProvedSets) {
+  campaign::ImageGeometry g{.text_words = 32, .words_per_block = 8};
+  g.text_base = 0x1000;
+  g.dispatch_slots = {0, 4, 12};
+  g.indirect_targets = {0x1004, 0x1008, 0x1020};  // sorted byte addresses
+  Rng rng(11);
+  int seen = 0;
+  for (int i = 0; i < 400; ++i) {
+    const Mutation m = campaign::generate(rng, g);
+    if (m.kind != MutationKind::kRetargetIndirect) continue;
+    ++seen;
+    EXPECT_TRUE(std::find(g.dispatch_slots.begin(), g.dispatch_slots.end(),
+                          m.a) != g.dispatch_slots.end());
+    EXPECT_GE(m.b, g.text_base);
+    EXPECT_LT(m.b, g.text_base + 4ull * g.text_words);
+    EXPECT_EQ(m.b % 4, 0u);
+    EXPECT_FALSE(std::binary_search(g.indirect_targets.begin(),
+                                    g.indirect_targets.end(),
+                                    static_cast<std::uint32_t>(m.b)))
+        << "an in-set rewire is admitted by the policy, never generated";
+  }
+  EXPECT_GT(seen, 0) << "the retarget share of the kind mix never fired";
 }
 
 TEST(Mutation, JsonRoundTrip) {
@@ -144,9 +173,28 @@ TEST(Mutation, ApplySemantics) {
   EXPECT_EQ(config.fault.bit, 7u);
   EXPECT_EQ(img.text, image.text) << "fault schedules leave the image alone";
 
+  img = image;
+  img.data.assign(12, 0xEE);
+  campaign::apply({MutationKind::kRetargetIndirect, 4, 0x00001234}, img,
+                  config, ctx);
+  EXPECT_EQ(img.data[4], 0x34);
+  EXPECT_EQ(img.data[5], 0x12);
+  EXPECT_EQ(img.data[6], 0x00);
+  EXPECT_EQ(img.data[7], 0x00);
+  EXPECT_EQ(img.data[0], 0xEE);
+  EXPECT_EQ(img.data[8], 0xEE);
+  EXPECT_EQ(img.text, image.text) << "retargets leave the sealed text alone";
+
   // Out-of-range parameters and a missing donor fail loudly.
   img = image;
   EXPECT_THROW(campaign::apply({MutationKind::kBitFlip, 16, 0}, img, config, ctx),
+               Error);
+  img.data.assign(12, 0);
+  EXPECT_THROW(campaign::apply({MutationKind::kRetargetIndirect, 12, 0}, img,
+                               config, ctx),
+               Error);
+  EXPECT_THROW(campaign::apply({MutationKind::kRetargetIndirect, 2, 0}, img,
+                               config, ctx),
                Error);
   EXPECT_THROW(campaign::apply({MutationKind::kBlockSplice, 2, 0}, img, config, ctx),
                Error);
@@ -325,6 +373,96 @@ TEST(Campaign, DetectionLatencyMatchesAcrossBackends) {
   EXPECT_EQ(f.latency_min, c.latency_min);
   EXPECT_EQ(f.latency_max, c.latency_max);
   EXPECT_EQ(f.latency_total, c.latency_total);
+}
+
+// Two dispatch sites with disjoint target sets — two distinct label
+// classes, so a cross-class retarget exercises the label gate (not just
+// the MAC check a stray redirect dies in).
+constexpr char kRetargetVictim[] = R"(
+main:
+  li r1, 0
+  la r4, table
+  lw r5, 0(r4)
+  .targets f1, f2
+  jr r5
+mid:
+  la r4, table2
+  lw r5, 0(r4)
+  .targets g1, g2
+  jr r5
+done:
+  li r10, 0xFFFF0008
+  sw r1, 0(r10)
+  halt
+f1:
+  addi r1, r1, 1
+  j mid
+f2:
+  addi r1, r1, 2
+  j mid
+g1:
+  addi r1, r1, 4
+  j done
+g2:
+  addi r1, r1, 8
+  j done
+.data
+table: .word f1, f2
+table2: .word g1, g2
+)";
+
+TEST(Campaign, RetargetedIndirectTransfersAreDetectedByFlta) {
+  auto profile =
+      pipeline::DeviceProfile::from_seed(crypto::CipherKind::kRectangle80, 17);
+  profile.scheme = pipeline::DeviceProfile::parse_scheme("flta");
+  auto session =
+      pipeline::Pipeline::from_source(kRetargetVictim, profile, "retarget");
+  const auto& clean = session.run();
+  ASSERT_TRUE(clean.ok());
+
+  const auto model = verify::model_of(session.hardened());
+  std::vector<std::vector<std::uint32_t>> sets;  // declared, in block order
+  for (const auto& blk : model.blocks)
+    if (!blk.jalr_targets.empty()) sets.push_back(blk.jalr_targets);
+  ASSERT_EQ(sets.size(), 2u);
+
+  const auto& image = session.hardened().image;
+  const auto slot_of = [&](std::uint32_t target) -> std::uint32_t {
+    for (std::uint32_t off = 0; off + 4 <= image.data.size(); off += 4) {
+      std::uint32_t v = 0;
+      for (std::uint32_t j = 0; j < 4; ++j)
+        v |= static_cast<std::uint32_t>(image.data[off + j]) << (8 * j);
+      if (v == target) return off;
+    }
+    ADD_FAILURE() << "no dispatch slot holds the target";
+    return 0;
+  };
+  const auto retarget = [&](std::uint32_t slot, std::uint32_t addr) {
+    auto img = image;
+    sim::SimConfig config = session.sim_config();
+    campaign::apply(Mutation{MutationKind::kRetargetIndirect, slot, addr},
+                    img, config, campaign::ApplyContext{});
+    return session.run_image(img, config);
+  };
+
+  // Cross-class: redirect the first dispatch into the second set. The MAC
+  // opens (both entries are canonical) but the label gate must trip.
+  const auto cross = retarget(slot_of(sets[0][0]), sets[1][0]);
+  ASSERT_EQ(cross.status, sim::RunResult::Status::kReset);
+  EXPECT_EQ(cross.reset.cause, sim::ResetCause::kTargetSetViolation);
+
+  // Out-of-set: redirect into a block body word — no canonical entry
+  // opens there, so the transfer dies before the label compare.
+  const auto stray = retarget(slot_of(sets[1][0]), model.text_base + 4 * 3);
+  ASSERT_EQ(stray.status, sim::RunResult::Status::kReset);
+  EXPECT_NE(stray.reset.cause, sim::ResetCause::kNone);
+
+  // In-set rewire: swapping within one class passes the gate and bends the
+  // output — the target-set policy's admitted residual surface, and why
+  // generation never draws in-set addresses.
+  const auto bent = retarget(slot_of(sets[0][0]), sets[0][1]);
+  EXPECT_TRUE(bent.ok());
+  EXPECT_NE(bent.output, clean.output);
 }
 
 TEST(Campaign, InvalidSpecsThrow) {

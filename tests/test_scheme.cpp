@@ -4,6 +4,7 @@
 // differential tamper suite across every scheme x cipher x backend.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -11,6 +12,7 @@
 #include "pipeline/pipeline.hpp"
 #include "scheme/scheme.hpp"
 #include "support/error.hpp"
+#include "verify/verify.hpp"
 
 namespace {
 
@@ -31,10 +33,11 @@ std::uint64_t fnv1a(const std::vector<std::uint32_t>& words) {
 
 TEST(SchemeRegistry, ListsTheBuiltInsInStableOrder) {
   const auto& reg = scheme::scheme_registry();
-  ASSERT_EQ(reg.size(), 3u);
+  ASSERT_EQ(reg.size(), 4u);
   EXPECT_EQ(reg[0].name, "sofia-cbcmac");
   EXPECT_EQ(reg[1].name, "sponge");
   EXPECT_EQ(reg[2].name, "null");
+  EXPECT_EQ(reg[3].name, "flta");
   EXPECT_EQ(reg[0].name, scheme::kDefaultScheme);
   for (const auto& entry : reg) {
     const auto& s = entry.get();
@@ -43,7 +46,8 @@ TEST(SchemeRegistry, ListsTheBuiltInsInStableOrder) {
     EXPECT_FALSE(entry.description.empty());
   }
   EXPECT_EQ(scheme::scheme_names(),
-            (std::vector<std::string>{"sofia-cbcmac", "sponge", "null"}));
+            (std::vector<std::string>{"sofia-cbcmac", "sponge", "null",
+                                      "flta"}));
 }
 
 TEST(SchemeRegistry, LookupAcceptsKeysAndRejectsUnknown) {
@@ -302,6 +306,9 @@ const TamperCase kTamperCases[] = {
     {"sofia-cbcmac", sim::ResetCause::kMacMismatch, true},
     {"sponge", sim::ResetCause::kStateCorruption, true},
     {"null", sim::ResetCause::kNone, false},
+    // flta layers the forward-edge label gate on the CBC-MAC substrate, so
+    // generic ciphertext tampering still verdicts as a MAC mismatch.
+    {"flta", sim::ResetCause::kMacMismatch, true},
 };
 
 bool verification_cause(sim::ResetCause c) {
@@ -449,5 +456,120 @@ INSTANTIATE_TEST_SUITE_P(AllSchemes, TamperSuite,
                              if (ch == '-') ch = '_';
                            return n;
                          });
+
+// ---- forward-edge retargeting ----------------------------------------------
+
+// Two dispatch sites with disjoint target sets. The data table is the
+// attack surface: SOFIA seals only the text, so a dispatch slot is one
+// unauthenticated store away from aiming the jump elsewhere.
+constexpr char kDispatchVictim[] = R"(
+main:
+  li r1, 0
+  la r4, table
+  lw r5, 0(r4)
+  .targets f1, f2
+  jr r5
+mid:
+  la r4, table2
+  lw r5, 0(r4)
+  .targets g1, g2
+  jr r5
+done:
+  li r10, 0xFFFF0008
+  sw r1, 0(r10)
+  halt
+f1:
+  addi r1, r1, 1
+  j mid
+f2:
+  addi r1, r1, 2
+  j mid
+g1:
+  addi r1, r1, 4
+  j done
+g2:
+  addi r1, r1, 8
+  j done
+.data
+table: .word f1, f2
+table2: .word g1, g2
+)";
+
+std::uint32_t data_word(const assembler::LoadImage& img, std::uint32_t off) {
+  std::uint32_t v = 0;
+  for (std::uint32_t j = 0; j < 4; ++j)
+    v |= static_cast<std::uint32_t>(img.data[off + j]) << (8 * j);
+  return v;
+}
+
+void set_data_word(assembler::LoadImage& img, std::uint32_t off,
+                   std::uint32_t v) {
+  for (std::uint32_t j = 0; j < 4; ++j)
+    img.data[off + j] = static_cast<std::uint8_t>(v >> (8 * j));
+}
+
+// Redirecting a dispatch slot across target sets is exactly the attack the
+// forward-edge scheme exists for: flta must verdict it as a target-set
+// violation, while the backward-edge-only scheme can at best watch the
+// devirtualized compare chain bend into its trap — no verification cause,
+// just silently wrong behavior.
+TEST(ForwardEdge, RetargetedDispatchSlotIsOnlyAttributedByFlta) {
+  const auto make = [](const char* scheme_name) {
+    auto p = pipeline::DeviceProfile::example(crypto::CipherKind::kSpeck64_128);
+    p.scheme = scheme_name;
+    return pipeline::Pipeline::from_source(kDispatchVictim, p, "dispatch");
+  };
+  // table[0] sits at data offset 0, table2[0] at offset 8; the redirect
+  // aims the first dispatch at the second set's first target.
+  {
+    auto session = make("flta");
+    ASSERT_TRUE(session.run().ok());
+    auto img = session.hardened().image;
+    set_data_word(img, 0, data_word(img, 8));
+    const auto r = session.run_image(img);
+    ASSERT_EQ(r.status, sim::RunResult::Status::kReset);
+    EXPECT_EQ(r.reset.cause, sim::ResetCause::kTargetSetViolation);
+  }
+  {
+    auto session = make("sofia-cbcmac");
+    const auto& clean = session.run();
+    ASSERT_TRUE(clean.ok());
+    auto img = session.hardened().image;
+    set_data_word(img, 0, data_word(img, 8));
+    const auto r = session.run_image(img);
+    EXPECT_NE(r.status, sim::RunResult::Status::kReset)
+        << "the backward-edge scheme has no forward-edge verdict";
+    EXPECT_NE(r.output, clean.output) << "the bend must be live, not dead code";
+  }
+}
+
+// The nearest text-level realization of the same redirect — splicing the
+// other target's sealed block over the intended one — is caught by both
+// MAC substrates, but sofia-cbcmac classifies it merely as a relocation;
+// only the forward-edge scheme names the violated edge at runtime.
+TEST(ForwardEdge, CbcmacSeesRetargetingOnlyAsARelocation) {
+  auto p = pipeline::DeviceProfile::example(crypto::CipherKind::kSpeck64_128);
+  p.scheme = "sofia-cbcmac";
+  auto session = pipeline::Pipeline::from_source(kDispatchVictim, p,
+                                                 "dispatch");
+  ASSERT_TRUE(session.run().ok());
+  auto img = session.hardened().image;
+  const std::uint32_t b = session.profile().policy.words_per_block;
+  // Under the non-gating scheme the table holds placed block addresses.
+  const std::uint32_t f1_block = (data_word(img, 0) - img.text_base) / 4 / b;
+  const std::uint32_t g1_block = (data_word(img, 8) - img.text_base) / 4 / b;
+  ASSERT_NE(f1_block, g1_block);
+  for (std::uint32_t j = 0; j < b; ++j)
+    img.text[f1_block * b + j] = img.text[g1_block * b + j];
+  const auto run = session.run_image(img);
+  ASSERT_EQ(run.status, sim::RunResult::Status::kReset);
+  EXPECT_EQ(run.reset.cause, sim::ResetCause::kMacMismatch);
+  const auto rules = verify::error_rules(session.lint_image(img));
+  EXPECT_NE(std::find(rules.begin(), rules.end(),
+                      verify::Rule::kRelocatedBlock),
+            rules.end())
+      << "static attribution should say 'relocated block', nothing about "
+         "the forward edge";
+}
 
 }  // namespace

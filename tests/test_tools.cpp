@@ -582,9 +582,10 @@ TEST_F(Tools, LintJsonIsDeterministic) {
   const auto doc2 = run_command(cmd, &code);
   EXPECT_EQ(code, 0);
   EXPECT_EQ(doc1, doc2);
-  EXPECT_NE(doc1.find("\"schema\": \"sofia-lint-v1\""), std::string::npos)
+  EXPECT_NE(doc1.find("\"schema\": \"sofia-lint-v2\""), std::string::npos)
       << doc1;
   EXPECT_NE(doc1.find("\"clean\": true"), std::string::npos) << doc1;
+  EXPECT_NE(doc1.find("\"indirects\""), std::string::npos) << doc1;
 }
 
 TEST_F(Tools, LintPrintsRuleCatalog) {
@@ -593,6 +594,42 @@ TEST_F(Tools, LintPrintsRuleCatalog) {
   EXPECT_EQ(code, 0);
   EXPECT_NE(out.find("edge-seal-mismatch"), std::string::npos) << out;
   EXPECT_NE(out.find("unreachable-block"), std::string::npos) << out;
+}
+
+TEST_F(Tools, LintRulesValidatesIdsAgainstTheCatalog) {
+  int code = 0;
+  // Known ids print exactly those catalog rows.
+  const auto known = run_command(
+      std::string(SOFIA_LINT_BIN) + " --rules store-to-text-proven", &code);
+  EXPECT_EQ(code, 0) << known;
+  EXPECT_NE(known.find("store-to-text-proven"), std::string::npos) << known;
+  EXPECT_EQ(known.find("unreachable-block"), std::string::npos) << known;
+  // An unknown id exits 2, names the id and lists the valid ones.
+  const auto bad = run_command(
+      std::string(SOFIA_LINT_BIN) + " --rules no-such-rule", &code);
+  EXPECT_EQ(code, 2) << bad;
+  EXPECT_NE(bad.find("unknown rule id 'no-such-rule'"), std::string::npos)
+      << bad;
+  EXPECT_NE(bad.find("edge-seal-mismatch"), std::string::npos) << bad;
+  // Rule ids without --rules are a usage error, not a lint input.
+  const auto stray = run_command(
+      std::string(SOFIA_LINT_BIN) + " --workload fib extra-id", &code);
+  EXPECT_EQ(code, 2) << stray;
+}
+
+TEST_F(Tools, LintSarifIsDeterministicSarif210) {
+  int code = 0;
+  const std::string cmd = std::string(SOFIA_LINT_BIN) +
+                          " --workload crc32 --size 16 --quiet --sarif -";
+  const auto doc1 = run_command(cmd, &code);
+  EXPECT_EQ(code, 0) << doc1;
+  const auto doc2 = run_command(cmd, &code);
+  EXPECT_EQ(code, 0);
+  EXPECT_EQ(doc1, doc2);
+  EXPECT_NE(doc1.find("\"version\": \"2.1.0\""), std::string::npos) << doc1;
+  EXPECT_NE(doc1.find("\"name\": \"sofia-lint\""), std::string::npos) << doc1;
+  EXPECT_NE(doc1.find("\"id\": \"edge-seal-mismatch\""), std::string::npos)
+      << doc1;
 }
 
 TEST_F(Tools, LintRejectsEmptyAndConflictingInputs) {

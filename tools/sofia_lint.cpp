@@ -3,17 +3,21 @@
 // control transfer must land on a block entry sealed for exactly that
 // predecessor (seals re-derived per protection scheme and compared against
 // the image bytes), plus block-policy conformance, ambiguous predecessors,
-// unreachable sealed blocks, store-to-text hazards and image-metadata
-// mismatches. Findings render as text or as a deterministic sofia-lint-v1
-// JSON document; --assert-clean turns errors into exit code 1 for CI.
+// unreachable sealed blocks, dataflow-proven store/indirect-target facts
+// and image-metadata mismatches. Findings render as text, as a
+// deterministic sofia-lint-v2 JSON document, or as SARIF 2.1.0 for CI
+// annotation; --assert-clean turns errors into exit code 1 for CI.
 //
 //   sofia_lint program.s                      lint the freshly hardened image
 //   sofia_lint --workload fib --size 8        same, for a registered workload
 //   sofia_lint program.s --image prog.img     lint a saved image against its
 //                                             program and key material
 //   sofia_lint --image prog.img               image-only metadata checks
+//   sofia_lint --rules [id...]                print (or validate) rule ids
+//   sofia_lint --workload fib --sarif o.sarif emit a SARIF 2.1.0 document
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "assembler/image_io.hpp"
 #include "pipeline/pipeline.hpp"
@@ -34,6 +38,8 @@ int main(int argc, char** argv) {
   std::string cipher = "rectangle80";
   std::string scheme(scheme::kDefaultScheme);
   std::string json_path;
+  std::string sarif_path;
+  std::vector<std::string> rule_ids;
   std::uint64_t seed = 1;
   std::uint32_t size = 0;         // 0 = the workload's default size
   std::uint32_t block_words = 0;  // 0 = policy default
@@ -63,30 +69,59 @@ int main(int argc, char** argv) {
       .option("--store-min", store_min, "n",
               "first word index where stores may sit (default 4)")
       .option("--json", json_path, "PATH",
-              "write a sofia-lint-v1 document to PATH ('-' = stdout)")
+              "write a sofia-lint-v2 document to PATH ('-' = stdout)")
+      .option("--sarif", sarif_path, "PATH",
+              "write a SARIF 2.1.0 document to PATH ('-' = stdout)")
       .flag("--assert-clean", assert_clean,
             "exit 1 when any error-severity finding is reported")
-      .flag("--rules", rules, "print the rule catalog and exit")
+      .flag("--rules", rules,
+            "print the rule catalog and exit; trailing ids select (and "
+            "validate) specific rules")
       .flag("--quiet", quiet, "suppress the text report")
-      .optional_positional("input.s", input);
+      .optional_positional("input.s", input)
+      .positional_list("rule-id", rule_ids);
   parser.parse_or_exit(argc, argv);
 
   if (rules) {
-    for (const auto& info : verify::rule_catalog())
-      std::printf("%-24s %-8s %.*s\n", std::string(info.name).c_str(),
-                  std::string(verify::to_string(info.severity)).c_str(),
-                  static_cast<int>(info.description.size()),
-                  info.description.data());
+    // With ids given, validate each against the live catalog and print
+    // only those rows; an unknown id names itself and the valid set.
+    if (!input.empty()) rule_ids.insert(rule_ids.begin(), input);
+    std::vector<const verify::RuleInfo*> rows;
+    for (const std::string& id : rule_ids) {
+      const verify::RuleInfo* info = verify::find_rule(id);
+      if (!info) {
+        std::string valid;
+        for (const auto& r : verify::rule_catalog()) {
+          if (!valid.empty()) valid += ", ";
+          valid += r.name;
+        }
+        std::fprintf(stderr,
+                     "sofia_lint: unknown rule id '%s' (valid: %s)\n",
+                     id.c_str(), valid.c_str());
+        return 2;
+      }
+      rows.push_back(info);
+    }
+    if (rows.empty())
+      for (const auto& info : verify::rule_catalog()) rows.push_back(&info);
+    for (const verify::RuleInfo* info : rows)
+      std::printf("%-24s %-8s %.*s\n", std::string(info->name).c_str(),
+                  std::string(verify::to_string(info->severity)).c_str(),
+                  static_cast<int>(info->description.size()),
+                  info->description.data());
     return 0;
   }
+  if (!rule_ids.empty())
+    return parser.fail("unexpected argument '" + rule_ids.front() +
+                       "' (rule ids are only valid with --rules)");
   if (!input.empty() && !workload.empty())
     return parser.fail("give either input.s or --workload, not both");
   if (input.empty() && workload.empty() && image_path.empty())
     return parser.fail("nothing to lint: give input.s, --workload or --image");
 
-  // With the document on stdout, the text report moves to stderr so the
+  // With a document on stdout, the text report moves to stderr so the
   // output stream stays byte-clean for collectors.
-  std::FILE* log = json_path == "-" ? stderr : stdout;
+  std::FILE* log = json_path == "-" || sarif_path == "-" ? stderr : stdout;
 
   try {
     auto profile = pipeline::DeviceProfile::parse(cipher);
@@ -127,7 +162,7 @@ int main(int argc, char** argv) {
     if (!json_path.empty()) {
       json::Writer w(2);
       w.begin_object();
-      w.member("schema", "sofia-lint-v1");
+      w.member("schema", "sofia-lint-v2");
       w.member("name", session.name());
       w.key("profile");
       profile.to_json(w);
@@ -137,6 +172,14 @@ int main(int argc, char** argv) {
       std::string doc = w.str();
       doc += '\n';
       io::emit_document(json_path, doc);
+    }
+
+    if (!sarif_path.empty()) {
+      json::Writer w(2);
+      verify::to_sarif(report, session.name(), w);
+      std::string doc = w.str();
+      doc += '\n';
+      io::emit_document(sarif_path, doc);
     }
 
     return assert_clean && !report.clean() ? 1 : 0;
